@@ -1,0 +1,194 @@
+// Command experiments reproduces the paper's evaluation: tables I–III and
+// figures 4a–8, printing the same rows/series the paper reports and writing
+// CSV data under -out.
+//
+// Usage:
+//
+//	experiments                      # everything, full scale
+//	experiments -quick               # thinned sweeps for a fast pass
+//	experiments -exp1 -sizes 20,100  # just Exp 1 at selected sizes (GB)
+//	experiments -exp2 -exp3 -reps 5  # concurrency experiments
+//	experiments -fig8 -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/exp"
+	"repro/internal/platform"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout))
+}
+
+// Main runs the experiments CLI and returns a process exit code. It is
+// called by main and exercised directly by tests.
+func Main(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all       = fs.Bool("all", false, "run every experiment (default when no selector given)")
+		quick     = fs.Bool("quick", false, "thin the sweeps for a fast pass")
+		exp1      = fs.Bool("exp1", false, "Exp 1: single-threaded accuracy (Figs 4a-4c)")
+		exp2      = fs.Bool("exp2", false, "Exp 2: concurrent applications, local disk (Fig 5)")
+		exp3      = fs.Bool("exp3", false, "Exp 3: concurrent applications, NFS (Fig 7)")
+		exp4      = fs.Bool("exp4", false, "Exp 4: Nighres workflow (Fig 6)")
+		fig8      = fs.Bool("fig8", false, "Fig 8: simulation-time scaling")
+		ablations = fs.Bool("ablations", false, "design-choice ablations")
+		tables    = fs.Bool("tables", false, "print Tables I-III")
+		profiles  = fs.Bool("profiles", false, "print Fig 4b memory profiles (with -exp1)")
+		contents  = fs.Bool("contents", false, "print Fig 4c cache contents (with -exp1)")
+		sizes     = fs.String("sizes", "20,100", "Exp 1 file sizes in GB, comma-separated")
+		reps      = fs.Int("reps", 5, "real-proxy repetitions for Exps 2-3")
+		outDir    = fs.String("out", "results", "output directory for CSV files")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables) {
+		*all = true
+	}
+	if *all {
+		*exp1, *exp2, *exp3, *exp4, *fig8, *ablations, *tables = true, true, true, true, true, true, true
+		*profiles, *contents = true, true
+	}
+	levels := exp.ConcurrencyLevels(32, 1)
+	if *quick {
+		levels = []int{1, 4, 8, 16, 32}
+		if *reps > 2 {
+			*reps = 2
+		}
+	}
+
+	if *tables {
+		printTables(stdout)
+	}
+	if *exp1 {
+		for _, gbStr := range strings.Split(*sizes, ",") {
+			gb, err := strconv.Atoi(strings.TrimSpace(gbStr))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad -sizes entry %q: %v\n", gbStr, err)
+				return 2
+			}
+			res, err := exp.RunExp1(int64(gb) * units.GB)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: exp1 %dGB: %v\n", gb, err)
+				return 1
+			}
+			res.Render(stdout)
+			if *profiles {
+				res.RenderMemProfiles(stdout)
+			}
+			if *contents {
+				res.RenderCacheContents(stdout)
+			}
+			fmt.Fprintln(stdout)
+			name := fmt.Sprintf("exp1_%dgb_mem_%%s.csv", gb)
+			for st, ms := range res.Mem {
+				ms := ms
+				if err := exp.SaveCSV(*outDir, fmt.Sprintf(name, st), ms.WriteCSV); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					return 1
+				}
+			}
+		}
+	}
+	if *exp2 {
+		res, err := exp.RunExp2(levels, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: exp2: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+		if err := exp.SaveCSV(*outDir, "exp2_fig5.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if *exp3 {
+		res, err := exp.RunExp3(levels, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: exp3: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+		if err := exp.SaveCSV(*outDir, "exp3_fig7.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if *exp4 {
+		res, err := exp.RunExp4()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: exp4: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+	}
+	if *fig8 {
+		res, err := exp.RunSimTime(levels)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: fig8: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+		if err := exp.SaveCSV(*outDir, "fig8_simtime.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if *ablations {
+		res, err := exp.RunAblations(100 * units.GB)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablations: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}
+
+func printTables(w io.Writer) {
+	fmt.Fprintln(w, "== Table I: synthetic application parameters ==")
+	t1 := &textplot.Table{Header: []string{"Input size", "CPU time (s)"}}
+	for _, row := range workload.TableI {
+		t1.Add(units.FormatBytes(row.Size), fmt.Sprintf("%.1f", row.CPU))
+	}
+	t1.Render(w)
+
+	fmt.Fprintln(w, "\n== Table II: Nighres application parameters ==")
+	t2 := &textplot.Table{Header: []string{"Workflow step", "Input (MB)", "Output (MB)", "CPU time (s)"}}
+	for _, s := range workload.NighresSteps() {
+		t2.Add(s.Name,
+			fmt.Sprintf("%d", s.InputBytes/units.MB),
+			fmt.Sprintf("%d", s.OutputSize/units.MB),
+			fmt.Sprintf("%.0f", s.CPU))
+	}
+	t2.Render(w)
+
+	fmt.Fprintln(w, "\n== Table III: bandwidths (MBps) ==")
+	b := platform.TableIII()
+	t3 := &textplot.Table{Header: []string{"Device", "Cluster (real)", "Simulators"}}
+	t3.Add("Memory read", fmt.Sprintf("%.0f", b.MemReadMBps), fmt.Sprintf("%.0f", b.SimMemMBps))
+	t3.Add("Memory write", fmt.Sprintf("%.0f", b.MemWriteMBps), fmt.Sprintf("%.0f", b.SimMemMBps))
+	t3.Add("Local disk read", fmt.Sprintf("%.0f", b.LocalReadMBps), fmt.Sprintf("%.0f", b.SimLocalMBps))
+	t3.Add("Local disk write", fmt.Sprintf("%.0f", b.LocalWriteMBps), fmt.Sprintf("%.0f", b.SimLocalMBps))
+	t3.Add("Remote disk read", fmt.Sprintf("%.0f", b.RemoteReadMBps), fmt.Sprintf("%.0f", b.SimNFSbps))
+	t3.Add("Remote disk write", fmt.Sprintf("%.0f", b.RemoteWriteMBps), fmt.Sprintf("%.0f", b.SimNFSbps))
+	t3.Add("Network", fmt.Sprintf("%.0f", b.NetworkMBps), fmt.Sprintf("%.0f", b.NetworkMBps))
+	t3.Render(w)
+	fmt.Fprintln(w)
+}

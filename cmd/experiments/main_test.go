@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTablesOutput(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-tables"}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out := b.String()
+	for _, want := range []string{"Table I", "Table II", "Table III", "6860", "Nighres", "100.00GB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in tables output", want)
+		}
+	}
+}
+
+func TestExp1SmallSize(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	code := Main([]string{"-exp1", "-sizes", "3", "-out", dir}, &b)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig 4a", "wrench-cache", "mean"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// Memory-profile CSVs written for every stack.
+	files, err := filepath.Glob(filepath.Join(dir, "exp1_3gb_mem_*.csv"))
+	if err != nil || len(files) < 3 {
+		t.Fatalf("csv files = %v (%v)", files, err)
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil || !strings.HasPrefix(string(data), "t,used") {
+		t.Fatalf("csv content bad: %v", err)
+	}
+}
+
+func TestExp4Flag(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-exp4"}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(b.String(), "Fig 6") {
+		t.Fatal("missing Fig 6")
+	}
+}
+
+func TestBadSizeFlag(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-exp1", "-sizes", "abc"}, &b); code == 0 {
+		t.Fatal("bad -sizes accepted")
+	}
+}

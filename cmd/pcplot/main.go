@@ -1,0 +1,118 @@
+// Command pcplot renders a CSV produced by the other tools (memory
+// profiles, Fig 5/7 series) as an ASCII chart in the terminal.
+//
+// Examples:
+//
+//	pcplot -x t -y used,cache,dirty mem.csv
+//	pcplot -x n -y read_real,read_wrench,read_cache results/exp2_fig5.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/textplot"
+)
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout))
+}
+
+// Main runs the pcplot CLI and returns a process exit code.
+func Main(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("pcplot", flag.ContinueOnError)
+	var (
+		xCol   = fs.String("x", "", "x column name (default: first column)")
+		yCols  = fs.String("y", "", "comma-separated y column names (default: all numeric)")
+		title  = fs.String("title", "", "chart title (default: file name)")
+		width  = fs.Int("width", 72, "chart width")
+		height = fs.Int("height", 16, "chart height")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "pcplot: exactly one CSV file argument required")
+		return 2
+	}
+	path := fs.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcplot: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcplot: %v\n", err)
+		return 1
+	}
+	if len(rows) < 2 {
+		fmt.Fprintln(os.Stderr, "pcplot: no data rows")
+		return 1
+	}
+	header := rows[0]
+	colIdx := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	xi := 0
+	if *xCol != "" {
+		if xi = colIdx(*xCol); xi < 0 {
+			fmt.Fprintf(os.Stderr, "pcplot: no column %q\n", *xCol)
+			return 2
+		}
+	}
+	var ys []int
+	if *yCols != "" {
+		for _, name := range strings.Split(*yCols, ",") {
+			i := colIdx(strings.TrimSpace(name))
+			if i < 0 {
+				fmt.Fprintf(os.Stderr, "pcplot: no column %q\n", name)
+				return 2
+			}
+			ys = append(ys, i)
+		}
+	} else {
+		for i := range header {
+			if i == xi {
+				continue
+			}
+			if _, err := strconv.ParseFloat(rows[1][i], 64); err == nil {
+				ys = append(ys, i)
+			}
+		}
+	}
+	if len(ys) == 0 {
+		fmt.Fprintln(os.Stderr, "pcplot: no numeric y columns")
+		return 1
+	}
+	ch := &textplot.Chart{Title: *title, Width: *width, Height: *height, XLabel: header[xi]}
+	if ch.Title == "" {
+		ch.Title = path
+	}
+	for _, yi := range ys {
+		s := textplot.Series{Name: header[yi]}
+		for _, row := range rows[1:] {
+			x, errX := strconv.ParseFloat(row[xi], 64)
+			y, errY := strconv.ParseFloat(row[yi], 64)
+			if errX != nil || errY != nil {
+				continue
+			}
+			s.X = append(s.X, x)
+			s.Y = append(s.Y, y)
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	ch.Render(stdout)
+	return 0
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlotBasic(t *testing.T) {
+	p := writeCSV(t, "t,used,cache\n0,1,0\n1,5,2\n2,9,4\n")
+	var b strings.Builder
+	if code := Main([]string{p}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out := b.String()
+	if !strings.Contains(out, "*=used") || !strings.Contains(out, "o=cache") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotSelectedColumns(t *testing.T) {
+	p := writeCSV(t, "n,a,b,c\n1,10,20,30\n2,11,21,31\n")
+	var b strings.Builder
+	if code := Main([]string{"-x", "n", "-y", "b", p}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(b.String(), "=a") {
+		t.Fatal("unselected column plotted")
+	}
+}
+
+func TestPlotErrors(t *testing.T) {
+	p := writeCSV(t, "a,b\n1,2\n")
+	var b strings.Builder
+	if code := Main([]string{}, &b); code == 0 {
+		t.Fatal("no file accepted")
+	}
+	if code := Main([]string{"-x", "zzz", p}, &b); code == 0 {
+		t.Fatal("unknown x column accepted")
+	}
+	if code := Main([]string{"-y", "zzz", p}, &b); code == 0 {
+		t.Fatal("unknown y column accepted")
+	}
+	empty := writeCSV(t, "a,b\n")
+	if code := Main([]string{empty}, &b); code == 0 {
+		t.Fatal("empty csv accepted")
+	}
+}

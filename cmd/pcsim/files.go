@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workflow"
+	"repro/internal/workload"
+)
+
+// runFromFiles executes pcsim in description-file mode: a JSON platform,
+// and either a JSON workflow or the built-in synthetic pipeline placed on
+// the platform's first host/partition.
+func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec float64, stdout io.Writer) int {
+	if platPath == "" {
+		fmt.Fprintln(os.Stderr, "pcsim: -workflow requires -platform")
+		return 2
+	}
+	mode, ok := parseMode(modeStr)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pcsim: unknown mode %q\n", modeStr)
+		return 2
+	}
+	chunk, err := units.ParseBytes(chunkStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	pf, err := os.Open(platPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	defer pf.Close()
+	cfg, err := platform.LoadConfig(pf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	sim := engine.NewSimulation()
+	plat, err := sim.BuildPlatform(cfg, mode, chunk, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	// Workload placement: the first configured host and its first
+	// partition.
+	host := plat.Hosts[cfg.Hosts[0].Name]
+	if len(cfg.Hosts[0].Disks) == 0 {
+		fmt.Fprintln(os.Stderr, "pcsim: first platform host has no disk to place the workload on")
+		return 2
+	}
+	scratch := plat.Partitions[cfg.Hosts[0].Disks[0].Partition]
+
+	if wfPath == "" {
+		// Synthetic pipeline on the described platform.
+		size, err := units.ParseBytes(sizeStr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 2
+		}
+		cpu := cpuSec
+		if cpu < 0 {
+			cpu = workload.SyntheticCPU(size)
+		}
+		files := workload.SyntheticFiles(0)
+		if _, err := scratch.CreateSized(files[0], size); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		if err := sim.NS.Place(files[0], scratch); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		sim.SpawnApp(host, 0, "app", func(a *engine.App) error {
+			return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: scratch}, workload.SyntheticSpec{
+				Size: size, CPU: cpu, Files: files,
+			})
+		})
+		if err := sim.Run(); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "pcsim: synthetic pipeline on platform %s (host %s, mode %s)\n",
+			platPath, host.Host.Name(), mode)
+		printOps(sim, stdout)
+		return 0
+	}
+
+	wf, err := os.Open(wfPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	defer wf.Close()
+	w, err := workflow.LoadJSON(wf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	// Source files materialize on the scratch partition; their sizes come
+	// from the largest partial read any task requests (whole-file refs need
+	// an explicit consumer size somewhere in the DAG).
+	sources, err := w.SourceFiles()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	for _, src := range sources {
+		var size int64
+		for _, t := range w.Tasks() {
+			for _, in := range t.Inputs {
+				if in.Name == src && in.Bytes > size {
+					size = in.Bytes
+				}
+			}
+		}
+		if size <= 0 {
+			fmt.Fprintf(os.Stderr, "pcsim: source file %s: no task states its size (use \"bytes\")\n", src)
+			return 2
+		}
+		if _, err := scratch.CreateSized(src, size); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		if err := sim.NS.Place(src, scratch); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+	}
+	rep, err := workflow.Run(sim, host, scratch, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pcsim: workflow %s on platform %s (host %s, mode %s)\n",
+		w.Name, platPath, host.Host.Name(), mode)
+	t := &textplot.Table{Header: []string{"task", "start (s)", "end (s)"}}
+	for _, tt := range rep.OrderedTimings() {
+		t.Add(tt.Name, fmt.Sprintf("%.2f", tt.Start), fmt.Sprintf("%.2f", tt.End))
+	}
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "makespan: %s\n", units.FormatSeconds(rep.Makespan))
+	return 0
+}
+
+func parseMode(s string) (engine.Mode, bool) {
+	switch s {
+	case "cacheless":
+		return engine.ModeCacheless, true
+	case "writeback":
+		return engine.ModeWriteback, true
+	case "writethrough":
+		return engine.ModeWritethrough, true
+	case "directio":
+		return engine.ModeDirectIO, true
+	}
+	return 0, false
+}
+
+func printOps(sim *engine.Simulation, stdout io.Writer) {
+	t := &textplot.Table{Header: []string{"op", "mean duration (s)", "total bytes"}}
+	for _, name := range sim.Log.Names() {
+		ops := sim.Log.ByName(name)
+		var d float64
+		var bytes int64
+		for _, o := range ops {
+			d += o.Duration()
+			bytes += o.Bytes
+		}
+		t.Add(name, fmt.Sprintf("%.2f", d/float64(len(ops))), units.FormatBytes(bytes))
+	}
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "makespan: %s\n", units.FormatSeconds(sim.Makespan()))
+}

@@ -1,0 +1,163 @@
+// Command pcsim runs one page-cache simulation with user-chosen parameters
+// — a quick way to explore cache behaviour outside the paper's fixed
+// experiment grid. It runs either the built-in synthetic pipeline or a
+// JSON workflow on a flag-built or JSON-described platform.
+//
+// Examples:
+//
+//	pcsim -size 20GB -mode writeback
+//	pcsim -size 3GB -mode cacheless -instances 8
+//	pcsim -size 10GB -mode writeback -ram 32GiB -dirty-ratio 0.4 -csv mem.csv
+//	pcsim -platform cluster.json -workflow nighres.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(Main(os.Args[1:], os.Stdout))
+}
+
+// Main runs the pcsim CLI and returns a process exit code.
+func Main(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("pcsim", flag.ContinueOnError)
+	var (
+		sizeStr    = fs.String("size", "20GB", "per-file size (e.g. 3GB, 500MB)")
+		modeStr    = fs.String("mode", "writeback", "cacheless | writeback | writethrough | directio")
+		instances  = fs.Int("instances", 1, "concurrent application instances")
+		ramStr     = fs.String("ram", "250GiB", "host RAM")
+		chunkStr   = fs.String("chunk", "100MB", "I/O chunk size")
+		dirtyRatio = fs.Float64("dirty-ratio", 0.20, "vm.dirty_ratio as a fraction")
+		expire     = fs.Float64("dirty-expire", 30, "dirty expiry seconds")
+		memBW      = fs.Float64("mem-bw", 4812, "memory bandwidth (MBps, symmetric)")
+		diskBW     = fs.Float64("disk-bw", 465, "disk bandwidth (MBps, symmetric)")
+		cpuSec     = fs.Float64("cpu", -1, "injected CPU seconds per task (default: Table I fit)")
+		csvPath    = fs.String("csv", "", "write the memory profile CSV here")
+		platPath   = fs.String("platform", "", "platform description JSON (overrides -ram/-mem-bw/-disk-bw)")
+		wfPath     = fs.String("workflow", "", "workflow description JSON (runs instead of the synthetic pipeline; requires -platform)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *wfPath != "" || *platPath != "" {
+		return runFromFiles(*platPath, *wfPath, *modeStr, *chunkStr, *sizeStr, *cpuSec, stdout)
+	}
+	size, err := units.ParseBytes(*sizeStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	ram, err := units.ParseBytes(*ramStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	chunk, err := units.ParseBytes(*chunkStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	var mode engine.Mode
+	switch *modeStr {
+	case "cacheless":
+		mode = engine.ModeCacheless
+	case "writeback":
+		mode = engine.ModeWriteback
+	case "writethrough":
+		mode = engine.ModeWritethrough
+	case "directio":
+		mode = engine.ModeDirectIO
+	default:
+		fmt.Fprintf(os.Stderr, "pcsim: unknown mode %q\n", *modeStr)
+		return 2
+	}
+	cpu := *cpuSec
+	if cpu < 0 {
+		cpu = workload.SyntheticCPU(size)
+	}
+
+	sim := engine.NewSimulation()
+	memSpec := platform.DeviceSpec{Name: "node0.mem", ReadBW: units.MBps(*memBW), WriteBW: units.MBps(*memBW)}
+	host := platform.HostSpec{Name: "node0", Cores: 32, FlopRate: 1e9, MemoryCap: ram, Memory: memSpec}
+	cfg := core.Config{TotalMem: ram, DirtyRatio: *dirtyRatio, DirtyExpire: *expire, FlushInterval: 5}
+	hr, err := sim.AddHost(host, mode, cfg, chunk)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	part, err := hr.AddDisk(platform.DeviceSpec{
+		Name: "node0.disk", ReadBW: units.MBps(*diskBW), WriteBW: units.MBps(*diskBW),
+	}, "scratch", 100*size*int64(*instances)+units.GiB)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	hr.EnableMemTrace(1)
+	for i := 0; i < *instances; i++ {
+		files := workload.SyntheticFiles(i)
+		if _, err := part.CreateSized(files[0], size); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		if err := sim.NS.Place(files[0], part); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+	}
+	for i := 0; i < *instances; i++ {
+		files := workload.SyntheticFiles(i)
+		sim.SpawnApp(hr, i, fmt.Sprintf("app%d", i), func(a *engine.App) error {
+			return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: part}, workload.SyntheticSpec{
+				Size: size, CPU: cpu, Files: files,
+			})
+		})
+	}
+	if err := sim.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprintf(stdout, "pcsim: %d instance(s), %s files, mode=%s, RAM=%s\n",
+		*instances, units.FormatBytes(size), mode, units.FormatBytes(ram))
+	t := &textplot.Table{Header: []string{"op", "mean duration (s)", "total bytes"}}
+	for _, name := range sim.Log.Names() {
+		ops := sim.Log.ByName(name)
+		var d float64
+		var bytes int64
+		for _, o := range ops {
+			d += o.Duration()
+			bytes += o.Bytes
+		}
+		t.Add(name, fmt.Sprintf("%.2f", d/float64(len(ops))), units.FormatBytes(bytes))
+	}
+	t.Render(stdout)
+	fmt.Fprintf(stdout, "makespan: %s   read total: %.1fs   write total: %.1fs\n",
+		units.FormatSeconds(sim.Makespan()),
+		sim.Log.Duration("read", -1), sim.Log.Duration("write", -1))
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := hr.MemTrace.WriteCSV(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "memory profile written to %s\n", *csvPath)
+	}
+	return 0
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPcsimBasicRun(t *testing.T) {
+	var b strings.Builder
+	code := Main([]string{"-size", "1GB", "-ram", "8GiB", "-mode", "writeback"}, &b)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	out := b.String()
+	for _, want := range []string{"Read 1", "Write 3", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPcsimModes(t *testing.T) {
+	for _, mode := range []string{"cacheless", "writeback", "writethrough", "directio"} {
+		var b strings.Builder
+		if code := Main([]string{"-size", "500MB", "-ram", "4GiB", "-mode", mode}, &b); code != 0 {
+			t.Fatalf("mode %s: exit %d", mode, code)
+		}
+	}
+}
+
+func TestPcsimInstances(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-size", "200MB", "-ram", "8GiB", "-instances", "4"}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(b.String(), "4 instance(s)") {
+		t.Fatalf("output: %s", b.String())
+	}
+}
+
+func TestPcsimCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "mem.csv")
+	var b strings.Builder
+	if code := Main([]string{"-size", "500MB", "-ram", "4GiB", "-csv", csv}, &b); code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,used,cache,dirty,anon") {
+		t.Fatalf("csv = %q", string(data[:40]))
+	}
+}
+
+func TestPcsimPlatformFile(t *testing.T) {
+	var b strings.Builder
+	code := Main([]string{"-platform", "../../testdata/cluster.json", "-size", "1GB"}, &b)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(b.String(), "node0") || !strings.Contains(b.String(), "Read 1") {
+		t.Fatalf("output: %s", b.String())
+	}
+}
+
+func TestPcsimWorkflowFile(t *testing.T) {
+	var b strings.Builder
+	code := Main([]string{
+		"-platform", "../../testdata/cluster.json",
+		"-workflow", "../../testdata/nighres.json",
+	}, &b)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	out := b.String()
+	for _, want := range []string{"workflow nighres", "skullstrip", "cortical", "makespan"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPcsimWorkflowRequiresPlatform(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-workflow", "../../testdata/nighres.json"}, &b); code == 0 {
+		t.Fatal("workflow without platform accepted")
+	}
+}
+
+func TestPcsimMissingFiles(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-platform", "/nonexistent.json"}, &b); code == 0 {
+		t.Fatal("missing platform file accepted")
+	}
+	if code := Main([]string{"-platform", "../../testdata/cluster.json", "-workflow", "/nope.json"}, &b); code == 0 {
+		t.Fatal("missing workflow file accepted")
+	}
+}
+
+func TestPcsimBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-size", "garbage"},
+		{"-mode", "nope"},
+		{"-ram", "x"},
+		{"-chunk", "-3"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if code := Main(args, &b); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

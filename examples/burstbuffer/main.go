@@ -1,0 +1,152 @@
+// Burst buffers — one of the applications the paper's conclusion proposes
+// for the simulator ("our simulator could also be leveraged to evaluate
+// solutions that reduce the impact of network file transfers ... such as
+// burst buffers").
+//
+// A compute node alternates compute phases and checkpoints. Two strategies:
+//  1. checkpoints written directly to the NFS parallel filesystem
+//     (writethrough server, no client write cache → the app waits for the
+//     full network+disk write every time);
+//  2. checkpoints written to a local SSD burst buffer at page-cache speed,
+//     while a drainer process stages them out to the PFS concurrently with
+//     the next compute phase.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/units"
+)
+
+const (
+	checkpoints = 4
+	ckptSize    = 8 * units.GB
+	computeSec  = 60.0
+)
+
+func build() (*engine.Simulation, *engine.HostRuntime, *storage.Partition, *storage.Partition) {
+	sim := engine.NewSimulation()
+	ram := 64 * units.GiB
+	node, err := sim.AddHost(platform.HostSpec{
+		Name: "node", Cores: 8, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.SimMemorySpec("node.mem"),
+	}, engine.ModeWriteback, core.DefaultConfig(ram), 100*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	server, err := sim.AddHost(platform.PaperHostSpec("server", platform.SimMemorySpec("server.mem")),
+		engine.ModeWriteback, core.DefaultConfig(250*units.GiB), 100*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, err := node.AddDisk(platform.SimLocalDiskSpec("node.ssd"), "bb", 450*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	export, err := server.AddDisk(platform.SimRemoteDiskSpec("server.disk"), "pfs", 450*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	link, err := platform.NewLink(sim.Sys, platform.ClusterNetworkSpec("net"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	srvMgr, err := core.NewManager(core.DefaultConfig(250 * units.GiB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := node.MountRemote(export, link, engine.MountOpts{
+		SrvMgr: srvMgr, SrvMem: server.Host.Memory(), Chunk: 100 * units.MB,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return sim, node, local, export
+}
+
+// appBlockedTime sums the instance-0 application's checkpoint-write stalls.
+func appBlockedTime(sim *engine.Simulation) float64 {
+	var d float64
+	for _, op := range sim.Log.Ops {
+		if op.Instance == 0 && op.Kind == "write" {
+			d += op.Duration()
+		}
+	}
+	return d
+}
+
+func runDirect() (blocked, makespan float64) {
+	sim, node, _, export := build()
+	sim.SpawnApp(node, 0, "app", func(a *engine.App) error {
+		for i := 0; i < checkpoints; i++ {
+			a.Compute(computeSec, "compute")
+			if err := a.WriteFile(fmt.Sprintf("ckpt%d", i), ckptSize, export, "ckpt"); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return appBlockedTime(sim), sim.Makespan()
+}
+
+func runBuffered() (blocked, makespan float64) {
+	sim, node, local, export := build()
+	// Inter-process coordination uses DES futures (simulated-time safe).
+	ready := make([]*des.Future[struct{}], checkpoints)
+	for i := range ready {
+		ready[i] = des.NewFuture[struct{}](sim.K)
+	}
+	sim.SpawnApp(node, 0, "app", func(a *engine.App) error {
+		for i := 0; i < checkpoints; i++ {
+			a.Compute(computeSec, "compute")
+			if err := a.WriteFile(fmt.Sprintf("ckpt%d", i), ckptSize, local, "ckpt"); err != nil {
+				return err
+			}
+			ready[i].Set(struct{}{})
+		}
+		return nil
+	})
+	sim.SpawnApp(node, 1, "drainer", func(a *engine.App) error {
+		for i := 0; i < checkpoints; i++ {
+			ready[i].Get(a.Proc())
+			name := fmt.Sprintf("ckpt%d", i)
+			// Stage out: read back (page-cache hits) and push to the PFS.
+			if err := a.ReadFile(name, "stage-read"); err != nil {
+				return err
+			}
+			if err := a.WriteFile(name+".pfs", ckptSize, export, "stage-write"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			if err := a.DeleteFile(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	return appBlockedTime(sim), sim.Makespan()
+}
+
+func main() {
+	directBlocked, directMk := runDirect()
+	bufBlocked, bufMk := runBuffered()
+
+	fmt.Printf("%d × %s checkpoints, %.0f s compute phases\n\n", checkpoints, units.FormatBytes(ckptSize), computeSec)
+	fmt.Printf("%-26s %14s %12s\n", "strategy", "app blocked (s)", "makespan (s)")
+	fmt.Printf("%-26s %14.1f %12.1f\n", "direct to NFS", directBlocked, directMk)
+	fmt.Printf("%-26s %14.1f %12.1f\n", "burst buffer + drainer", bufBlocked, bufMk)
+	fmt.Printf("\nthe burst buffer hides the PFS writes behind the next compute phase:\n")
+	fmt.Printf("the application only pays page-cache speed for its checkpoints\n")
+	fmt.Printf("(%.1fx less blocking), while staging overlaps compute.\n", directBlocked/bufBlocked)
+}

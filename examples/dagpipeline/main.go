@@ -1,0 +1,89 @@
+// A fork-join analysis workflow on the DAG runner: one preprocessing task
+// fans out to four parallel analyses that all re-read the same intermediate
+// file, then a merge joins them. The page cache turns the four branch reads
+// into one disk read plus three memory-speed hits — the kind of workflow
+// effect the paper's simulator exists to predict.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workflow"
+)
+
+func build() *workflow.Workflow {
+	w := workflow.New("fork-join-analysis")
+	w.MustAdd(workflow.Task{
+		Name: "preprocess", CPUSeconds: 20,
+		Inputs:  []workflow.FileRef{{Name: "raw.dat", Bytes: -1}},
+		Outputs: []workflow.OutFile{{Name: "clean.dat", Size: 4 * units.GB}},
+	})
+	for i := 1; i <= 4; i++ {
+		w.MustAdd(workflow.Task{
+			Name: fmt.Sprintf("analysis%d", i), CPUSeconds: 30,
+			Inputs:  []workflow.FileRef{{Name: "clean.dat", Bytes: -1}},
+			Outputs: []workflow.OutFile{{Name: fmt.Sprintf("stats%d.dat", i), Size: 200 * units.MB}},
+		})
+	}
+	w.MustAdd(workflow.Task{
+		Name: "merge", CPUSeconds: 5,
+		Inputs: []workflow.FileRef{
+			{Name: "stats1.dat", Bytes: -1}, {Name: "stats2.dat", Bytes: -1},
+			{Name: "stats3.dat", Bytes: -1}, {Name: "stats4.dat", Bytes: -1},
+		},
+		Outputs: []workflow.OutFile{{Name: "report.dat", Size: 50 * units.MB}},
+	})
+	return w
+}
+
+func run(mode engine.Mode) (makespan float64, timings []workflow.TaskTiming) {
+	sim := engine.NewSimulation()
+	ram := 64 * units.GiB
+	host, err := sim.AddHost(platform.HostSpec{
+		Name: "node0", Cores: 8, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.SimMemorySpec("node0.mem"),
+	}, mode, core.DefaultConfig(ram), 100*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.SimLocalDiskSpec("node0.disk"), "scratch", 450*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := disk.CreateSized("raw.dat", 5*units.GB); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.NS.Place("raw.dat", disk); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := workflow.Run(sim, host, disk, build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep.Makespan, rep.OrderedTimings()
+}
+
+func main() {
+	w := build()
+	cp, _ := w.CriticalPathCPU()
+	fmt.Printf("workflow: %d tasks, critical-path CPU %.0f s\n\n", len(w.Tasks()), cp)
+
+	mkCache, timings := run(engine.ModeWriteback)
+	mkBase, _ := run(engine.ModeCacheless)
+
+	fmt.Println("task timings with page cache (s):")
+	for _, tt := range timings {
+		fmt.Printf("  %-12s %7.1f → %7.1f\n", tt.Name, tt.Start, tt.End)
+	}
+	fmt.Printf("\nmakespan with page cache:   %7.1f s\n", mkCache)
+	fmt.Printf("makespan cacheless (WRENCH):%7.1f s\n", mkBase)
+	fmt.Printf("cacheless overestimates the workflow by %.1fx\n", mkBase/mkCache)
+	// The four analyses start together right after preprocess; their reads
+	// of clean.dat are cache hits (the file was just written), so the fan-
+	// out costs almost no I/O — invisible to a cacheless simulator.
+}

@@ -1,0 +1,78 @@
+// The Nighres cortical-reconstruction workflow (the paper's Exp 4): a
+// four-step neuroimaging pipeline whose intermediate files make page
+// caching matter — and where a cacheless simulator overestimates I/O times
+// several-fold.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func run(mode engine.Mode) map[string]float64 {
+	sim := engine.NewSimulation()
+	ram := 250 * units.GiB
+	host, err := sim.AddHost(platform.PaperHostSpec("node0", platform.SimMemorySpec("node0.mem")),
+		mode, core.DefaultConfig(ram), 100*units.MB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.SimLocalDiskSpec("node0.disk"), "scratch", 450*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := disk.CreateSized(workload.NighresInput, workload.NighresInputSize); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.NS.Place(workload.NighresInput, disk); err != nil {
+		log.Fatal(err)
+	}
+	sim.SpawnApp(host, 0, "nighres", func(a *engine.App) error {
+		return workload.RunNighres(&workload.EngineRunner{App: a, Part: disk})
+	})
+	if err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	out := map[string]float64{}
+	for _, op := range sim.Log.Ops {
+		if op.Kind != "compute" {
+			out[op.Name] += op.Duration()
+		}
+	}
+	return out
+}
+
+func main() {
+	withCache := run(engine.ModeWriteback)
+	baseline := run(engine.ModeCacheless)
+
+	fmt.Println("Nighres I/O op durations (s): page-cache model vs cacheless baseline")
+	fmt.Printf("%-10s %14s %14s %8s\n", "op", "with cache", "cacheless", "ratio")
+	steps := workload.NighresSteps()
+	for i := range steps {
+		for _, kind := range []string{"Read", "Write"} {
+			name := fmt.Sprintf("%s %d", kind, i+1)
+			c, b := withCache[name], baseline[name]
+			ratio := b / c
+			fmt.Printf("%-10s %14.2f %14.2f %7.1fx\n", name, c, b, ratio)
+		}
+	}
+	fmt.Println("\nsteps:", func() (s string) {
+		for i, st := range steps {
+			if i > 0 {
+				s += " → "
+			}
+			s += st.Name
+		}
+		return
+	}())
+	// Reads 2-4 consume files written by earlier steps; with the page cache
+	// they are memory-speed hits, which is why the baseline overestimates
+	// them by large factors (the paper reports a 337% mean error).
+}

@@ -1,0 +1,118 @@
+// Package cgroup models Linux memory control groups over the page-cache
+// simulator — the paper's first proposed application: "it is now common for
+// HPC clusters to run applications in Linux control groups (cgroups), where
+// resource consumption is limited, including memory and therefore page
+// cache usage ... for instance to improve scheduling algorithms or avoid
+// page cache starvation".
+//
+// Like the kernel's memory controller, each group owns private LRU lists
+// (here: a private core.Manager sized to the group's limit), so a group
+// under memory pressure thrashes its own cache while other groups are
+// unaffected. Limits are reservations: the sum of limits cannot exceed the
+// host's RAM.
+package cgroup
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Controller manages the memory cgroup hierarchy of one host.
+type Controller struct {
+	total    int64
+	reserved int64
+	groups   map[string]*Group
+	chunk    int64
+	base     core.Config
+}
+
+// NewController creates a controller for a host with the given RAM and
+// default cache configuration (DirtyRatio etc. are inherited by groups).
+func NewController(totalMem int64, base core.Config, chunk int64) (*Controller, error) {
+	if totalMem <= 0 {
+		return nil, fmt.Errorf("cgroup: total memory must be positive")
+	}
+	if chunk <= 0 {
+		return nil, fmt.Errorf("cgroup: chunk must be positive")
+	}
+	return &Controller{total: totalMem, groups: make(map[string]*Group), chunk: chunk, base: base}, nil
+}
+
+// Total returns the host RAM managed by the controller.
+func (c *Controller) Total() int64 { return c.total }
+
+// Reserved returns the RAM reserved by existing groups.
+func (c *Controller) Reserved() int64 { return c.reserved }
+
+// Group is one memory cgroup: a private page cache of at most Limit bytes
+// (anonymous memory + page cache, like memory.limit_in_bytes). It
+// implements engine.CacheModel, so applications are placed in a group by
+// spawning them with the group as their model.
+type Group struct {
+	engine.CacheModel
+	name  string
+	limit int64
+	mgr   *core.Manager
+	ctl   *Controller
+}
+
+// NewGroup reserves `limit` bytes for a new group. It fails when the
+// host's RAM is over-committed.
+func (c *Controller) NewGroup(name string, limit int64) (*Group, error) {
+	if _, ok := c.groups[name]; ok {
+		return nil, fmt.Errorf("cgroup: group %q exists", name)
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("cgroup: group %q: limit must be positive", name)
+	}
+	if c.reserved+limit > c.total {
+		return nil, fmt.Errorf("cgroup: group %q: limit %d over-commits RAM (%d of %d reserved)",
+			name, limit, c.reserved, c.total)
+	}
+	cfg := c.base
+	cfg.TotalMem = limit
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := engine.NewCoreModel(mgr, c.chunk, engine.ModeWriteback)
+	if err != nil {
+		return nil, err
+	}
+	g := &Group{CacheModel: model, name: name, limit: limit, mgr: mgr, ctl: c}
+	c.groups[name] = g
+	c.reserved += limit
+	return g, nil
+}
+
+// Remove deletes a group, releasing its reservation. The group must hold no
+// anonymous memory.
+func (c *Controller) Remove(name string) error {
+	g, ok := c.groups[name]
+	if !ok {
+		return fmt.Errorf("cgroup: no group %q", name)
+	}
+	if g.mgr.Anon() != 0 {
+		return fmt.Errorf("cgroup: group %q still holds %d bytes of anonymous memory", name, g.mgr.Anon())
+	}
+	delete(c.groups, name)
+	c.reserved -= g.limit
+	return nil
+}
+
+// Group returns a group by name (nil if absent).
+func (c *Controller) Group(name string) *Group { return c.groups[name] }
+
+// Name returns the group name.
+func (g *Group) Name() string { return g.name }
+
+// Limit returns the group's memory limit in bytes.
+func (g *Group) Limit() int64 { return g.limit }
+
+// Manager exposes the group's private page-cache manager.
+func (g *Group) Manager() *core.Manager { return g.mgr }
+
+// Usage returns the group's charged bytes (anonymous + cache).
+func (g *Group) Usage() int64 { return g.mgr.Anon() + g.mgr.CacheBytes() }

@@ -1,0 +1,171 @@
+package cgroup
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/units"
+)
+
+func testController(t *testing.T, total int64) *Controller {
+	t.Helper()
+	c, err := NewController(total, core.DefaultConfig(total), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(0, core.DefaultConfig(1), 1); err == nil {
+		t.Fatal("zero RAM accepted")
+	}
+	if _, err := NewController(100, core.DefaultConfig(100), 0); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestGroupReservation(t *testing.T) {
+	c := testController(t, 1000)
+	g1, err := c.NewGroup("a", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Reserved() != 600 || g1.Limit() != 600 {
+		t.Fatalf("reserved = %d", c.Reserved())
+	}
+	if _, err := c.NewGroup("b", 500); err == nil {
+		t.Fatal("over-commit accepted")
+	}
+	if _, err := c.NewGroup("a", 100); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := c.NewGroup("c", 0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if _, err := c.NewGroup("b", 400); err != nil {
+		t.Fatal(err)
+	}
+	if c.Group("a") != g1 || c.Group("zzz") != nil {
+		t.Fatal("lookup broken")
+	}
+}
+
+func TestRemoveReleasesReservation(t *testing.T) {
+	c := testController(t, 1000)
+	if _, err := c.NewGroup("a", 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Reserved() != 0 {
+		t.Fatalf("reserved = %d", c.Reserved())
+	}
+	if err := c.Remove("a"); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if _, err := c.NewGroup("b", 1000); err != nil {
+		t.Fatal("reservation not released")
+	}
+}
+
+func TestRemoveRefusesLiveAnon(t *testing.T) {
+	c := testController(t, 1000)
+	g, err := c.NewGroup("a", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Manager().UseAnon(100)
+	if err := c.Remove("a"); err == nil {
+		t.Fatal("removed group with live anonymous memory")
+	}
+	g.Manager().ReleaseAnon(100)
+	if err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGroupIsolationStarvation reproduces the example scenario end to end:
+// a group too small for its working set keeps rereading from disk while a
+// roomy group gets memory-speed hits.
+func TestGroupIsolationStarvation(t *testing.T) {
+	sim := engine.NewSimulation()
+	ram := int64(100000)
+	host, err := sim.AddHost(platform.HostSpec{
+		Name: "h", Cores: 2, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.DeviceSpec{Name: "h.mem", ReadBW: 1000, WriteBW: 1000},
+	}, engine.ModeWriteback, core.DefaultConfig(ram), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.DeviceSpec{Name: "h.disk", ReadBW: 100, WriteBW: 100}, "scratch", 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(ram, core.DefaultConfig(ram), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	roomy, err := ctl.NewGroup("roomy", 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := ctl.NewGroup("tight", 1500) // 1000 anon + only 500 cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"a.bin", "b.bin"} {
+		if _, err := disk.CreateSized(f, 1000); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.NS.Place(f, disk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spawn := func(g *Group, inst int, file string) {
+		sim.SpawnAppWithModel(host, g, inst, g.Name(), func(a *engine.App) error {
+			for i := 0; i < 2; i++ {
+				if err := a.ReadFile(file, g.Name()+"-read"); err != nil {
+					return err
+				}
+				a.ReleaseTaskMemory()
+			}
+			return nil
+		})
+	}
+	spawn(roomy, 0, "a.bin")
+	spawn(tight, 1, "b.bin")
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	roomyOps := sim.Log.ByName("roomy-read")
+	tightOps := sim.Log.ByName("tight-read")
+	// Roomy round 2 is a pure cache hit (1000 B at 1000 B/s = 1 s).
+	if d := roomyOps[1].Duration(); d > 1.5 {
+		t.Fatalf("roomy reread = %v, want ≈1 (cache hit)", d)
+	}
+	// Tight round 2 still pays for most of the file from disk.
+	if d := tightOps[1].Duration(); d < 4 {
+		t.Fatalf("tight reread = %v, want ≥4 (thrashing)", d)
+	}
+	if roomy.Usage() > roomy.Limit() || tight.Usage() > tight.Limit() {
+		t.Fatal("group exceeded its limit")
+	}
+}
+
+func TestGroupUsageTracksManager(t *testing.T) {
+	c := testController(t, 10*units.GiB)
+	g, err := c.NewGroup("g", units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Manager().AddToCache("f", 1000, 0)
+	g.Manager().UseAnon(500)
+	if g.Usage() != 1500 {
+		t.Fatalf("usage = %d", g.Usage())
+	}
+	g.Manager().ReleaseAnon(500)
+}

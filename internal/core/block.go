@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// Block is the model's unit of cached data (§III.A.1): a contiguous set of
+// file pages accessed in the same I/O operation. Blocks of one file can
+// coexist, have different sizes, and can be split arbitrarily.
+type Block struct {
+	File       string
+	Size       int64
+	Entry      float64 // creation time (governs expiry)
+	LastAccess float64 // governs LRU ordering
+	Dirty      bool
+
+	prev, next *Block
+	owner      *List
+}
+
+// InList reports which list currently holds the block (nil if none).
+func (b *Block) InList() *List { return b.owner }
+
+// split carves n bytes off the front of b into a new block with identical
+// metadata, shrinking b by n. The new block is not in any list. It panics if
+// n is not strictly inside (0, b.Size): callers must handle whole-block
+// cases themselves.
+func (b *Block) split(n int64) *Block {
+	if n <= 0 || n >= b.Size {
+		panic(fmt.Sprintf("core: invalid split of %d-byte block at %d", b.Size, n))
+	}
+	nb := &Block{
+		File:       b.File,
+		Size:       n,
+		Entry:      b.Entry,
+		LastAccess: b.LastAccess,
+		Dirty:      b.Dirty,
+	}
+	b.Size -= n
+	return nb
+}
+
+func (b *Block) String() string {
+	d := "clean"
+	if b.Dirty {
+		d = "dirty"
+	}
+	return fmt.Sprintf("{%s %dB %s entry=%.2f access=%.2f}", b.File, b.Size, d, b.Entry, b.LastAccess)
+}

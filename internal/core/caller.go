@@ -1,0 +1,30 @@
+// Package core implements the paper's page-cache simulation model (§III):
+// data blocks in sorted active/inactive LRU lists, the Memory Manager
+// (flushing, eviction, cached I/O, periodic expiry flushing — Algorithm 1),
+// and the I/O Controller (chunked reads — Algorithm 2, writes — Algorithm 3,
+// plus the writethrough variant).
+//
+// The model is deliberately decoupled from any particular simulation engine:
+// every operation that consumes simulated time goes through the Caller
+// interface. The DES engine (internal/engine) implements Caller with
+// fair-shared fluid transfers; the sequential prototype (internal/pysim)
+// implements it with fixed-bandwidth arithmetic, exactly like the paper's
+// Python prototype.
+package core
+
+// Caller is the executing simulated thread. Each method blocks the caller
+// for the simulated duration of the transfer. DiskRead/DiskWrite resolve the
+// file to its backing storage (local disk or remote service); MemRead and
+// MemWrite model page-cache traffic through the host's RAM.
+type Caller interface {
+	// Now returns the current simulated time in seconds.
+	Now() float64
+	// DiskRead reads n bytes of file from its backing store.
+	DiskRead(file string, n int64)
+	// DiskWrite writes n bytes of file to its backing store.
+	DiskWrite(file string, n int64)
+	// MemRead reads n bytes from the host memory (page-cache hit).
+	MemRead(n int64)
+	// MemWrite writes n bytes to the host memory (page-cache insertion).
+	MemWrite(n int64)
+}

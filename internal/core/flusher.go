@@ -1,0 +1,19 @@
+package core
+
+// RunPeriodicFlusher executes Algorithm 1: an infinite loop that flushes
+// expired dirty blocks and sleeps the remainder of each flush interval.
+// `sleep` suspends the simulated background thread; `hostOn` lets the
+// driver terminate the loop (the algorithm's "while host is on"). The
+// engine runs this inside a dedicated simulated process; the sequential
+// prototype emulates it with catch-up calls instead.
+func RunPeriodicFlusher(c Caller, m *Manager, sleep func(seconds float64), hostOn func() bool) {
+	interval := m.Config().FlushInterval
+	for hostOn() {
+		start := c.Now()
+		m.FlushExpired(c)
+		elapsed := c.Now() - start
+		if elapsed < interval {
+			sleep(interval - elapsed)
+		}
+	}
+}

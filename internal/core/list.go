@@ -1,0 +1,158 @@
+package core
+
+// List is an intrusive doubly-linked list of blocks ordered by LastAccess,
+// earliest first — the representation of the page-cache LRU lists in Fig 2.
+// The list maintains byte totals (overall and dirty) incrementally.
+type List struct {
+	name  string
+	head  *Block
+	tail  *Block
+	count int
+	bytes int64
+	dirty int64
+}
+
+// NewList returns an empty list with a diagnostic name ("inactive"/"active").
+func NewList(name string) *List { return &List{name: name} }
+
+// Name returns the list's diagnostic name.
+func (l *List) Name() string { return l.name }
+
+// Len returns the number of blocks.
+func (l *List) Len() int { return l.count }
+
+// Bytes returns the total block bytes in the list.
+func (l *List) Bytes() int64 { return l.bytes }
+
+// DirtyBytes returns the total dirty bytes in the list.
+func (l *List) DirtyBytes() int64 { return l.dirty }
+
+// Front returns the least recently used block (nil when empty).
+func (l *List) Front() *Block { return l.head }
+
+// Back returns the most recently used block (nil when empty).
+func (l *List) Back() *Block { return l.tail }
+
+// PushBack appends b as the most recently used block. b must not belong to
+// any list, and its LastAccess must be ≥ the current tail's (the caller
+// guarantees this because simulated time is monotonic).
+func (l *List) PushBack(b *Block) {
+	if b.owner != nil {
+		panic("core: block already in a list")
+	}
+	b.owner = l
+	b.prev = l.tail
+	b.next = nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	l.account(b, +1)
+}
+
+// InsertSorted places b at its LastAccess-sorted position, scanning from the
+// tail (used when demoting blocks from the active list, whose access times
+// may interleave with the inactive list's).
+func (l *List) InsertSorted(b *Block) {
+	if b.owner != nil {
+		panic("core: block already in a list")
+	}
+	pos := l.tail
+	for pos != nil && pos.LastAccess > b.LastAccess {
+		pos = pos.prev
+	}
+	b.owner = l
+	if pos == nil { // new head
+		b.prev = nil
+		b.next = l.head
+		if l.head != nil {
+			l.head.prev = b
+		} else {
+			l.tail = b
+		}
+		l.head = b
+	} else {
+		b.prev = pos
+		b.next = pos.next
+		if pos.next != nil {
+			pos.next.prev = b
+		} else {
+			l.tail = b
+		}
+		pos.next = b
+	}
+	l.account(b, +1)
+}
+
+// Remove unlinks b from the list.
+func (l *List) Remove(b *Block) {
+	if b.owner != l {
+		panic("core: removing block from wrong list")
+	}
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		l.head = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	} else {
+		l.tail = b.prev
+	}
+	b.prev, b.next, b.owner = nil, nil, nil
+	l.account(b, -1)
+}
+
+func (l *List) account(b *Block, sign int64) {
+	l.count += int(sign)
+	l.bytes += sign * b.Size
+	if b.Dirty {
+		l.dirty += sign * b.Size
+	}
+}
+
+// markClean clears b's dirty flag, keeping byte accounting consistent.
+// It is the only sanctioned way to clean a block that sits in a list.
+func (l *List) markClean(b *Block) {
+	if b.owner != l {
+		panic("core: markClean on block from wrong list")
+	}
+	if b.Dirty {
+		b.Dirty = false
+		l.dirty -= b.Size
+	}
+}
+
+// resize changes b's size in place (used by in-list partial flush splits).
+func (l *List) resize(b *Block, newSize int64) {
+	if b.owner != l {
+		panic("core: resize on block from wrong list")
+	}
+	delta := newSize - b.Size
+	l.bytes += delta
+	if b.Dirty {
+		l.dirty += delta
+	}
+	b.Size = newSize
+}
+
+// Each calls fn on every block from LRU to MRU; fn returning false stops the
+// walk. fn must not mutate the list.
+func (l *List) Each(fn func(*Block) bool) {
+	for b := l.head; b != nil; b = b.next {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// Blocks returns a snapshot slice, LRU to MRU (tests and tracing).
+func (l *List) Blocks() []*Block {
+	out := make([]*Block, 0, l.count)
+	for b := l.head; b != nil; b = b.next {
+		out = append(out, b)
+	}
+	return out
+}

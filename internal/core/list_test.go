@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func blk(file string, size int64, entry, access float64, dirty bool) *Block {
+	return &Block{File: file, Size: size, Entry: entry, LastAccess: access, Dirty: dirty}
+}
+
+func TestListPushBackAccounting(t *testing.T) {
+	l := NewList("t")
+	l.PushBack(blk("a", 10, 0, 0, false))
+	l.PushBack(blk("b", 20, 1, 1, true))
+	l.PushBack(blk("a", 5, 2, 2, true))
+	if l.Len() != 3 || l.Bytes() != 35 || l.DirtyBytes() != 25 {
+		t.Fatalf("len=%d bytes=%d dirty=%d", l.Len(), l.Bytes(), l.DirtyBytes())
+	}
+	if l.Front().File != "a" || l.Back().Size != 5 {
+		t.Fatalf("front=%v back=%v", l.Front(), l.Back())
+	}
+}
+
+func TestListRemoveMiddle(t *testing.T) {
+	l := NewList("t")
+	a := blk("a", 10, 0, 0, false)
+	b := blk("b", 20, 1, 1, true)
+	c := blk("c", 30, 2, 2, false)
+	l.PushBack(a)
+	l.PushBack(b)
+	l.PushBack(c)
+	l.Remove(b)
+	if l.Len() != 2 || l.Bytes() != 40 || l.DirtyBytes() != 0 {
+		t.Fatalf("len=%d bytes=%d dirty=%d", l.Len(), l.Bytes(), l.DirtyBytes())
+	}
+	if b.InList() != nil {
+		t.Fatal("removed block still owned")
+	}
+	if l.Front().next != c || c.prev != a {
+		t.Fatal("links broken after middle removal")
+	}
+}
+
+func TestListRemoveEnds(t *testing.T) {
+	l := NewList("t")
+	a := blk("a", 1, 0, 0, false)
+	b := blk("b", 2, 1, 1, false)
+	l.PushBack(a)
+	l.PushBack(b)
+	l.Remove(a)
+	if l.Front() != b || l.Back() != b {
+		t.Fatal("head removal broken")
+	}
+	l.Remove(b)
+	if l.Front() != nil || l.Back() != nil || l.Len() != 0 {
+		t.Fatal("tail removal broken")
+	}
+}
+
+func TestInsertSortedPositions(t *testing.T) {
+	l := NewList("t")
+	l.PushBack(blk("a", 1, 0, 10, false))
+	l.PushBack(blk("b", 1, 0, 20, false))
+	l.PushBack(blk("c", 1, 0, 30, false))
+
+	l.InsertSorted(blk("mid", 1, 0, 25, false))
+	l.InsertSorted(blk("front", 1, 0, 5, false))
+	l.InsertSorted(blk("back", 1, 0, 35, false))
+
+	var access []float64
+	l.Each(func(b *Block) bool { access = append(access, b.LastAccess); return true })
+	want := []float64{5, 10, 20, 25, 30, 35}
+	for i := range want {
+		if access[i] != want[i] {
+			t.Fatalf("order = %v, want %v", access, want)
+		}
+	}
+}
+
+func TestInsertSortedIntoEmpty(t *testing.T) {
+	l := NewList("t")
+	b := blk("a", 1, 0, 7, false)
+	l.InsertSorted(b)
+	if l.Front() != b || l.Back() != b || l.Len() != 1 {
+		t.Fatal("sorted insert into empty list broken")
+	}
+}
+
+func TestMarkCleanAccounting(t *testing.T) {
+	l := NewList("t")
+	b := blk("a", 10, 0, 0, true)
+	l.PushBack(b)
+	l.markClean(b)
+	if b.Dirty || l.DirtyBytes() != 0 || l.Bytes() != 10 {
+		t.Fatalf("markClean broken: dirty=%v list dirty=%d", b.Dirty, l.DirtyBytes())
+	}
+	l.markClean(b) // idempotent
+	if l.DirtyBytes() != 0 {
+		t.Fatal("double markClean corrupted accounting")
+	}
+}
+
+func TestResizeAccounting(t *testing.T) {
+	l := NewList("t")
+	b := blk("a", 10, 0, 0, true)
+	l.PushBack(b)
+	l.resize(b, 4)
+	if l.Bytes() != 4 || l.DirtyBytes() != 4 || b.Size != 4 {
+		t.Fatalf("resize broken: %d/%d", l.Bytes(), l.DirtyBytes())
+	}
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	l := NewList("t")
+	b := blk("a", 1, 0, 0, false)
+	l.PushBack(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double insert")
+		}
+	}()
+	l.PushBack(b)
+}
+
+func TestSplitConservesMetadata(t *testing.T) {
+	b := blk("f", 100, 3, 9, true)
+	nb := b.split(30)
+	if nb.Size != 30 || b.Size != 70 {
+		t.Fatalf("sizes %d/%d", nb.Size, b.Size)
+	}
+	if nb.File != "f" || nb.Entry != 3 || nb.LastAccess != 9 || !nb.Dirty {
+		t.Fatalf("metadata lost: %v", nb)
+	}
+}
+
+func TestSplitBoundsPanic(t *testing.T) {
+	for _, n := range []int64{0, 100, 150, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("split(%d) did not panic", n)
+				}
+			}()
+			blk("f", 100, 0, 0, false).split(n)
+		}()
+	}
+}
+
+// Property: random sorted inserts keep the list sorted and byte totals
+// consistent.
+func TestPropertyInsertSortedStaysSorted(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewList("t")
+		var want int64
+		for i := 0; i < 50; i++ {
+			size := int64(1 + rng.Intn(1000))
+			want += size
+			l.InsertSorted(blk("f", size, 0, rng.Float64()*100, rng.Intn(2) == 0))
+		}
+		last := -1.0
+		ok := true
+		l.Each(func(b *Block) bool {
+			if b.LastAccess < last {
+				ok = false
+				return false
+			}
+			last = b.LastAccess
+			return true
+		})
+		return ok && l.Bytes() == want && l.Len() == 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

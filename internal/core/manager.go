@@ -1,0 +1,596 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config parameterizes the page-cache model. Defaults mirror the Linux
+// kernel settings on the paper's cluster (CentOS 8 defaults).
+type Config struct {
+	// TotalMem is the host RAM in bytes (paper: 250 GiB).
+	TotalMem int64
+	// DirtyRatio is the fraction of available memory (total − anonymous)
+	// that dirty data may occupy before writers are throttled
+	// (vm.dirty_ratio; default 0.20).
+	DirtyRatio float64
+	// DirtyExpire is the age in seconds after which a dirty block is flushed
+	// by the periodic flusher (vm.dirty_expire_centisecs; default 30 s).
+	DirtyExpire float64
+	// FlushInterval is the periodic flusher wake-up period
+	// (vm.dirty_writeback_centisecs; default 5 s).
+	FlushInterval float64
+	// EvictExcludesOpenWrites enables the kernel heuristic the paper could
+	// not model: pages of files currently opened for writing are not
+	// evicted. Off by default (faithful to the paper); an ablation
+	// benchmark quantifies its effect.
+	EvictExcludesOpenWrites bool
+}
+
+// DefaultConfig returns the paper's configuration for a host with the given
+// RAM size.
+func DefaultConfig(totalMem int64) Config {
+	return Config{
+		TotalMem:      totalMem,
+		DirtyRatio:    0.20,
+		DirtyExpire:   30,
+		FlushInterval: 5,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.TotalMem <= 0:
+		return fmt.Errorf("core: TotalMem must be positive")
+	case c.DirtyRatio <= 0 || c.DirtyRatio > 1:
+		return fmt.Errorf("core: DirtyRatio must be in (0,1]")
+	case c.DirtyExpire < 0:
+		return fmt.Errorf("core: DirtyExpire must be non-negative")
+	case c.FlushInterval <= 0:
+		return fmt.Errorf("core: FlushInterval must be positive")
+	}
+	return nil
+}
+
+// Manager is the paper's Memory Manager (§III.A): it owns the LRU lists and
+// implements flushing, eviction, cached reads/writes and the periodic-flush
+// body. All mutations are atomic in simulated time; only Caller transfers
+// block, and every scan restarts after a blocking point, which makes the
+// manager safe for concurrent simulated processes without explicit locks.
+type Manager struct {
+	cfg      Config
+	inactive *List
+	active   *List
+	anon     int64
+	cached   map[string]int64 // per-file cached bytes
+	writing  map[string]int   // open-for-write refcounts (extension heuristic)
+
+	// ForcedEvictions counts safety-valve direct reclaims (see UseAnon);
+	// zero in well-formed workloads.
+	ForcedEvictions int64
+}
+
+// NewManager returns a Manager for the given configuration.
+func NewManager(cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Manager{
+		cfg:      cfg,
+		inactive: NewList("inactive"),
+		active:   NewList("active"),
+		cached:   make(map[string]int64),
+		writing:  make(map[string]int),
+	}, nil
+}
+
+// Config returns the manager configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Inactive and Active expose the LRU lists (read-only use: tests, tracing).
+func (m *Manager) Inactive() *List { return m.inactive }
+func (m *Manager) Active() *List   { return m.active }
+
+// Cached returns the cached bytes of file (any dirtiness, either list).
+func (m *Manager) Cached(file string) int64 { return m.cached[file] }
+
+// CacheBytes returns total page-cache bytes.
+func (m *Manager) CacheBytes() int64 { return m.inactive.Bytes() + m.active.Bytes() }
+
+// Dirty returns total dirty bytes.
+func (m *Manager) Dirty() int64 { return m.inactive.DirtyBytes() + m.active.DirtyBytes() }
+
+// Anon returns anonymous (application) memory in use.
+func (m *Manager) Anon() int64 { return m.anon }
+
+// Free returns unused memory: total − anonymous − cache.
+func (m *Manager) Free() int64 { return m.cfg.TotalMem - m.anon - m.CacheBytes() }
+
+// Available returns memory available to the page cache: total − anonymous.
+// The dirty threshold is a fraction of this quantity.
+func (m *Manager) Available() int64 { return m.cfg.TotalMem - m.anon }
+
+// DirtyThreshold returns the current dirty-data ceiling in bytes.
+func (m *Manager) DirtyThreshold() int64 {
+	return int64(m.cfg.DirtyRatio * float64(m.Available()))
+}
+
+// Evictable returns the clean bytes in the inactive list, excluding blocks
+// of `exclude` and of write-protected files.
+func (m *Manager) Evictable(exclude string) int64 {
+	var n int64
+	m.inactive.Each(func(b *Block) bool {
+		if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
+			n += b.Size
+		}
+		return true
+	})
+	return n
+}
+
+func (m *Manager) writeProtected(file string) bool {
+	return m.cfg.EvictExcludesOpenWrites && m.writing[file] > 0
+}
+
+// OpenWrite / CloseWrite bracket a writing task for the
+// EvictExcludesOpenWrites heuristic. Refcounted; harmless when the heuristic
+// is disabled.
+func (m *Manager) OpenWrite(file string) { m.writing[file]++ }
+func (m *Manager) CloseWrite(file string) {
+	if m.writing[file] <= 1 {
+		delete(m.writing, file)
+	} else {
+		m.writing[file]--
+	}
+}
+
+// UseAnon grows anonymous memory by n bytes. If that overcommits RAM, the
+// manager performs direct reclaim (force-evicting clean blocks, LRU first,
+// inactive then active, ignoring exclusions) as a safety valve and counts it
+// in ForcedEvictions. It returns the unresolvable deficit (0 normally).
+func (m *Manager) UseAnon(n int64) int64 {
+	if n < 0 {
+		panic("core: negative UseAnon")
+	}
+	m.anon += n
+	deficit := -m.Free()
+	if deficit > 0 {
+		m.ForcedEvictions++
+		m.forceEvict(deficit)
+		m.balance()
+		deficit = -m.Free()
+	}
+	if deficit < 0 {
+		deficit = 0
+	}
+	return deficit
+}
+
+// ReleaseAnon shrinks anonymous memory (task termination).
+func (m *Manager) ReleaseAnon(n int64) {
+	if n < 0 || n > m.anon {
+		panic(fmt.Sprintf("core: invalid ReleaseAnon(%d) with anon=%d", n, m.anon))
+	}
+	m.anon -= n
+}
+
+// forceEvict drops clean blocks regardless of exclusions until `amount`
+// bytes are reclaimed or nothing clean remains.
+func (m *Manager) forceEvict(amount int64) int64 {
+	var evicted int64
+	for _, l := range []*List{m.inactive, m.active} {
+		b := l.Front()
+		for b != nil && evicted < amount {
+			next := b.next
+			if !b.Dirty {
+				evicted += m.dropBlockPrefix(l, b, amount-evicted)
+			}
+			b = next
+		}
+	}
+	return evicted
+}
+
+// dropBlockPrefix evicts up to `want` bytes from clean block b (whole block
+// or an LRU-side split), returning the evicted byte count.
+func (m *Manager) dropBlockPrefix(l *List, b *Block, want int64) int64 {
+	if b.Size <= want {
+		n := b.Size
+		l.Remove(b)
+		m.addCached(b.File, -n)
+		return n
+	}
+	l.resize(b, b.Size-want)
+	m.addCached(b.File, -want)
+	return want
+}
+
+func (m *Manager) addCached(file string, delta int64) {
+	v := m.cached[file] + delta
+	if v < 0 {
+		panic(fmt.Sprintf("core: negative cached bytes for %s", file))
+	}
+	if v == 0 {
+		delete(m.cached, file)
+	} else {
+		m.cached[file] = v
+	}
+}
+
+// Evict frees up to `amount` bytes by deleting least recently used clean
+// blocks from the inactive list (§III.A.3), never touching blocks of
+// `exclude` or of write-protected files. Eviction consumes no simulated
+// time. It returns the evicted byte count. Non-positive amounts are no-ops
+// (explicitly stated in the paper).
+//
+// When the inactive list cannot satisfy the request (possible only when
+// exclusions or the EvictExcludesOpenWrites extension pin inactive blocks),
+// eviction escalates to clean blocks of the active list, mirroring the
+// kernel's active-list shrinking under pressure. With the paper's default
+// configuration the escalation never triggers.
+func (m *Manager) Evict(amount int64, exclude string) int64 {
+	if amount <= 0 {
+		return 0
+	}
+	var evicted int64
+	for _, l := range []*List{m.inactive, m.active} {
+		b := l.Front()
+		for b != nil && evicted < amount {
+			next := b.next
+			if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
+				evicted += m.dropBlockPrefix(l, b, amount-evicted)
+			}
+			b = next
+		}
+		if evicted >= amount {
+			break
+		}
+	}
+	m.balance()
+	return evicted
+}
+
+// Flush writes up to `amount` bytes of dirty data to the blocks' backing
+// stores, least recently used first, inactive list before active list
+// (§III.A.3). Partially flushed blocks are split; the flushed part becomes
+// clean. Flushing takes simulated disk-write time through c. Non-positive
+// amounts are no-ops. Returns the flushed byte count.
+//
+// The scan restarts after every blocking write so that concurrent list
+// mutations (other simulated processes) are observed.
+func (m *Manager) Flush(c Caller, amount int64) int64 {
+	if amount <= 0 {
+		return 0
+	}
+	var flushed int64
+	for flushed < amount {
+		l, b := m.nextDirtyLRU()
+		if b == nil {
+			break
+		}
+		n := m.cleanBlockPrefix(l, b, amount-flushed)
+		flushed += n
+		c.DiskWrite(b.File, n) // blocking; scan restarts afterwards
+	}
+	return flushed
+}
+
+// nextDirtyLRU returns the least recently used dirty block, searching the
+// inactive list first.
+func (m *Manager) nextDirtyLRU() (*List, *Block) {
+	for _, l := range []*List{m.inactive, m.active} {
+		for b := l.Front(); b != nil; b = b.next {
+			if b.Dirty {
+				return l, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// cleanBlockPrefix marks up to `want` bytes of dirty block b clean
+// (Algorithm 1 cleans before writing). A partial clean splits the block: the
+// clean part is inserted just before the still-dirty remainder, preserving
+// both entry and access times. Returns the cleaned byte count.
+func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
+	if b.Size <= want {
+		l.markClean(b)
+		return b.Size
+	}
+	l.resize(b, b.Size-want)
+	nb := &Block{File: b.File, Size: want, Entry: b.Entry, LastAccess: b.LastAccess}
+	m.insertBefore(l, nb, b)
+	return want
+}
+
+// insertBefore links nb immediately before pos in l (same access time).
+func (m *Manager) insertBefore(l *List, nb *Block, pos *Block) {
+	if pos.owner != l {
+		panic("core: insertBefore position not in list")
+	}
+	nb.owner = l
+	nb.next = pos
+	nb.prev = pos.prev
+	if pos.prev != nil {
+		pos.prev.next = nb
+	} else {
+		l.head = nb
+	}
+	pos.prev = nb
+	l.account(nb, +1)
+}
+
+// FlushExpired implements the body of the periodic flusher (Algorithm 1):
+// every dirty block older than DirtyExpire is cleaned and written to its
+// backing store. Returns flushed bytes.
+func (m *Manager) FlushExpired(c Caller) int64 {
+	var flushed int64
+	for {
+		now := c.Now()
+		l, b := m.nextExpired(now)
+		if b == nil {
+			return flushed
+		}
+		l.markClean(b)
+		flushed += b.Size
+		c.DiskWrite(b.File, b.Size) // blocking; rescan afterwards
+	}
+}
+
+func (m *Manager) nextExpired(now float64) (*List, *Block) {
+	for _, l := range []*List{m.inactive, m.active} {
+		for b := l.Front(); b != nil; b = b.next {
+			if b.Dirty && now-b.Entry >= m.cfg.DirtyExpire {
+				return l, b
+			}
+		}
+	}
+	return nil, nil
+}
+
+// AddToCache inserts n freshly disk-read bytes of file as one clean block at
+// the tail of the inactive list (first access, §III.A.1). If RAM would be
+// overcommitted the manager force-evicts (preferring other files) as a
+// safety valve. Returns the unresolvable deficit (0 normally).
+func (m *Manager) AddToCache(file string, n int64, now float64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	deficit := n - m.Free()
+	if deficit > 0 {
+		m.Evict(deficit, file)
+		deficit = n - m.Free()
+		if deficit > 0 {
+			m.ForcedEvictions++
+			m.forceEvict(deficit)
+		}
+	}
+	if n > m.Free() {
+		return n - m.Free() // truly no room; caller surfaces the OOM
+	}
+	b := &Block{File: file, Size: n, Entry: now, LastAccess: now}
+	m.inactive.PushBack(b)
+	m.addCached(file, n)
+	m.balance()
+	return 0
+}
+
+// WriteToCache creates a dirty block of n bytes at the tail of the inactive
+// list (§III.A.2: written data is assumed uncached) and charges the memory
+// write through c. Returns the unresolvable deficit (0 normally).
+func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if n > m.Free() {
+		return n - m.Free()
+	}
+	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true}
+	m.inactive.PushBack(b)
+	m.addCached(file, n)
+	m.balance()
+	c.MemWrite(n)
+	return 0
+}
+
+// CacheRead simulates reading `amount` cached bytes of file (§III.A.2):
+// blocks are consumed in round-robin order — inactive list before active
+// list, LRU first (Fig 3). Clean blocks merge into a single block appended
+// to the active list; dirty blocks move individually, preserving their entry
+// times. Partially read blocks are split. The memory read is charged
+// through c after the list mutation.
+func (m *Manager) CacheRead(c Caller, file string, amount int64) {
+	if amount <= 0 {
+		return
+	}
+	now := c.Now()
+	remaining := amount
+	var mergedSize int64
+	mergedEntry := now
+
+	consume := func(l *List) {
+		b := l.Front()
+		for b != nil && remaining > 0 {
+			next := b.next
+			if b.File == file {
+				take := b.Size
+				if take > remaining {
+					take = remaining
+				}
+				if take == b.Size {
+					l.Remove(b)
+				} else {
+					// Split: the LRU-side prefix is the portion read now.
+					l.resize(b, b.Size-take)
+					b = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
+				}
+				if b.Dirty {
+					b.LastAccess = now
+					m.active.PushBack(b)
+				} else {
+					mergedSize += b.Size
+					if b.Entry < mergedEntry {
+						mergedEntry = b.Entry
+					}
+				}
+				remaining -= take
+			}
+			b = next
+		}
+	}
+	consume(m.inactive)
+	consume(m.active)
+
+	if mergedSize > 0 {
+		m.active.PushBack(&Block{File: file, Size: mergedSize, Entry: mergedEntry, LastAccess: now})
+	}
+	m.balance()
+	c.MemRead(amount)
+}
+
+// InvalidateFile drops every cached block of file (clean or dirty) without
+// writing anything back — the semantics of deleting the file. Returns the
+// dropped byte count.
+func (m *Manager) InvalidateFile(file string) int64 {
+	var dropped int64
+	for _, l := range []*List{m.inactive, m.active} {
+		b := l.Front()
+		for b != nil {
+			next := b.next
+			if b.File == file {
+				dropped += b.Size
+				l.Remove(b)
+			}
+			b = next
+		}
+	}
+	if dropped > 0 {
+		m.addCached(file, -dropped)
+	}
+	m.balance()
+	return dropped
+}
+
+// balance keeps the active list at most twice the size of the inactive list
+// (§III.A.1) by demoting least recently used active blocks into the
+// inactive list at their sorted positions. Demotion is byte-exact: the last
+// demoted block is split so the 2:1 ratio is met without overshoot (the real
+// kernel moves individual pages, so its granularity is effectively exact at
+// our block sizes).
+func (m *Manager) balance() {
+	for m.active.Bytes() > 2*m.inactive.Bytes() {
+		b := m.active.Front()
+		if b == nil {
+			return
+		}
+		// Demoting x bytes reaches balance when active−x ≤ 2(inactive+x).
+		excess := (m.active.Bytes() - 2*m.inactive.Bytes() + 2) / 3
+		if b.Size <= excess {
+			m.active.Remove(b)
+			m.inactive.InsertSorted(b)
+			continue
+		}
+		m.active.resize(b, b.Size-excess)
+		nb := &Block{File: b.File, Size: excess, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
+		m.inactive.InsertSorted(nb)
+	}
+}
+
+// Stats is a point-in-time snapshot of the manager's accounting.
+type Stats struct {
+	Total, Anon, Cache, Dirty, Free, Available int64
+	ActiveBytes, InactiveBytes                 int64
+	ActiveBlocks, InactiveBlocks               int
+	DirtyThreshold                             int64
+}
+
+// Snapshot returns current statistics.
+func (m *Manager) Snapshot() Stats {
+	return Stats{
+		Total:          m.cfg.TotalMem,
+		Anon:           m.anon,
+		Cache:          m.CacheBytes(),
+		Dirty:          m.Dirty(),
+		Free:           m.Free(),
+		Available:      m.Available(),
+		ActiveBytes:    m.active.Bytes(),
+		InactiveBytes:  m.inactive.Bytes(),
+		ActiveBlocks:   m.active.Len(),
+		InactiveBlocks: m.inactive.Len(),
+		DirtyThreshold: m.DirtyThreshold(),
+	}
+}
+
+// CachedByFile returns a copy of the per-file cached byte map.
+func (m *Manager) CachedByFile() map[string]int64 {
+	out := make(map[string]int64, len(m.cached))
+	for k, v := range m.cached {
+		out[k] = v
+	}
+	return out
+}
+
+// CachedFiles returns the cached file names in sorted order.
+func (m *Manager) CachedFiles() []string {
+	out := make([]string, 0, len(m.cached))
+	for k := range m.cached {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckInvariants verifies internal consistency; tests call it after
+// randomized operation sequences. It returns an error describing the first
+// violation found.
+func (m *Manager) CheckInvariants() error {
+	var perFile = map[string]int64{}
+	var total int64
+	for _, l := range []*List{m.inactive, m.active} {
+		var bytes, dirty int64
+		n := 0
+		last := -1.0
+		for b := l.Front(); b != nil; b = b.next {
+			if b.owner != l {
+				return fmt.Errorf("block %v has wrong owner", b)
+			}
+			if b.Size <= 0 {
+				return fmt.Errorf("non-positive block size: %v", b)
+			}
+			if b.LastAccess < last {
+				return fmt.Errorf("list %s not sorted by access time", l.name)
+			}
+			last = b.LastAccess
+			bytes += b.Size
+			if b.Dirty {
+				dirty += b.Size
+			}
+			perFile[b.File] += b.Size
+			n++
+		}
+		if bytes != l.Bytes() || dirty != l.DirtyBytes() || n != l.Len() {
+			return fmt.Errorf("list %s accounting mismatch: bytes %d/%d dirty %d/%d len %d/%d",
+				l.name, bytes, l.Bytes(), dirty, l.DirtyBytes(), n, l.Len())
+		}
+		total += bytes
+	}
+	for f, v := range perFile {
+		if m.cached[f] != v {
+			return fmt.Errorf("cached[%s]=%d, lists hold %d", f, m.cached[f], v)
+		}
+	}
+	for f, v := range m.cached {
+		if perFile[f] != v {
+			return fmt.Errorf("cached[%s]=%d but lists hold %d", f, v, perFile[f])
+		}
+	}
+	if m.Free() < 0 {
+		return fmt.Errorf("negative free memory: %d", m.Free())
+	}
+	if m.anon < 0 {
+		return fmt.Errorf("negative anon: %d", m.anon)
+	}
+	_ = total
+	return nil
+}

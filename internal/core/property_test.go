@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyIOControllerConservation drives random read/write workloads
+// through Algorithms 2 & 3 and checks global byte conservation and
+// accounting invariants after every operation:
+//
+//   - every byte of a read is served exactly once (disk + cache = request);
+//   - every byte of a write lands somewhere durable-or-cached
+//     (memWrites = cache insertions; flushed + dirty = written);
+//   - manager invariants (list accounting, non-negative free) hold.
+func TestPropertyIOControllerConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		total := int64(50000 + rng.Intn(100000))
+		m, err := NewManager(DefaultConfig(total))
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunk := int64(500 + rng.Intn(2000))
+		io, err := NewIOController(m, chunk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			io.SetPattern(Uniform)
+		}
+		c := newFakeCaller()
+		files := map[string]int64{} // written sizes
+		names := []string{"a", "b", "c"}
+		var anon int64
+
+		for op := 0; op < 60; op++ {
+			c.now += rng.Float64() * 5
+			name := names[rng.Intn(len(names))]
+			switch rng.Intn(4) {
+			case 0: // write
+				n := int64(1 + rng.Intn(8000))
+				if files[name]+n+anon > total/2 {
+					continue // keep the workload within RAM
+				}
+				preDirty := m.Dirty()
+				preDiskW := c.diskWrites
+				preMemW := c.memWrites
+				if err := io.WriteFile(c, name, n); err != nil {
+					t.Logf("seed %d: write: %v", seed, err)
+					return false
+				}
+				files[name] += n
+				// Written bytes all hit memory (cache insertions)...
+				if c.memWrites-preMemW != n {
+					t.Logf("seed %d: write %d, memWrites %d", seed, n, c.memWrites-preMemW)
+					return false
+				}
+				// ...and are either still dirty or were flushed to disk
+				// (other blocks may have been flushed too, hence ≥).
+				dirtyDelta := m.Dirty() - preDirty
+				flushed := c.diskWrites - preDiskW
+				if dirtyDelta+flushed < n {
+					t.Logf("seed %d: write %d, dirtyΔ %d + flushed %d", seed, n, dirtyDelta, flushed)
+					return false
+				}
+			case 1: // read (whole or partial)
+				size := files[name]
+				if size == 0 {
+					continue
+				}
+				n := 1 + rng.Int63n(size)
+				if anon+n > total/2 {
+					continue
+				}
+				preDiskR := c.diskReads
+				preMemR := c.memReads
+				if err := io.Read(c, name, n, size); err != nil {
+					if errors.Is(err, ErrOutOfMemory) {
+						continue
+					}
+					t.Logf("seed %d: read: %v", seed, err)
+					return false
+				}
+				anon += n
+				if got := (c.diskReads - preDiskR) + (c.memReads - preMemR); got != n {
+					t.Logf("seed %d: read %d served %d", seed, n, got)
+					return false
+				}
+			case 2: // task end
+				if anon > 0 {
+					m.ReleaseAnon(anon)
+					anon = 0
+				}
+			case 3: // background flush catch-up
+				m.FlushExpired(c)
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+			if m.Cached(name) > files[name] {
+				t.Logf("seed %d: %s cached %d > written %d", seed, name, m.Cached(name), files[name])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

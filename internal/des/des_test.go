@@ -1,0 +1,422 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(2, func() { got = append(got, 2) })
+	k.At(1, func() { got = append(got, 1) })
+	k.At(3, func() { got = append(got, 3) })
+	k.At(1, func() { got = append(got, 10) }) // same time: scheduling order
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 10, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", k.Now())
+	}
+}
+
+func TestEventOrderingRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	k := NewKernel()
+	var times []float64
+	var fired []float64
+	for i := 0; i < 1000; i++ {
+		tm := rng.Float64() * 100
+		times = append(times, tm)
+		k.At(tm, func() { fired = append(fired, tm) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(times)
+	for i := range times {
+		if fired[i] != times[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, fired[i], times[i])
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	tm := k.At(1, func() { fired = true })
+	tm.Cancel()
+	tm.Cancel() // idempotent
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	k := NewKernel()
+	k.At(5, func() {})
+	fired := -1.0
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	k.After(-3, func() { fired = k.Now() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 5 {
+		t.Fatalf("negative-delay event fired at %v, want 5", fired)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	k := NewKernel()
+	var marks []float64
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		marks = append(marks, p.Now())
+		p.Sleep(2.5)
+		marks = append(marks, p.Now())
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 2 || marks[0] != 1.5 || marks[1] != 4.0 {
+		t.Fatalf("marks = %v", marks)
+	}
+}
+
+func TestTwoProcsInterleave(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1)
+		order = append(order, "a1")
+		p.Sleep(2) // t=3
+		order = append(order, "a3")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(2)
+		order = append(order, "b2")
+		p.Sleep(2) // t=4
+		order = append(order, "b4")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b2", "a3", "b4"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFutureBlocksAndWakes(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[int](k)
+	got := 0
+	k.Spawn("waiter", func(p *Proc) { got = f.Get(p) })
+	k.Spawn("setter", func(p *Proc) {
+		p.Sleep(3)
+		f.Set(42)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if !f.IsSet() {
+		t.Fatal("future not set")
+	}
+	if v, ok := f.Peek(); !ok || v != 42 {
+		t.Fatalf("Peek = %v,%v", v, ok)
+	}
+}
+
+func TestFutureGetAfterSet(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[string](k)
+	f.Set("x")
+	got := ""
+	k.Spawn("w", func(p *Proc) { got = f.Get(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestFutureDoubleSetPanics(t *testing.T) {
+	k := NewKernel()
+	f := NewFuture[int](k)
+	f.Set(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Set")
+		}
+	}()
+	f.Set(2)
+}
+
+func TestJoin(t *testing.T) {
+	k := NewKernel()
+	end := 0.0
+	child := k.Spawn("child", func(p *Proc) { p.Sleep(7) })
+	k.Spawn("parent", func(p *Proc) {
+		p.Join(child)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 7 {
+		t.Fatalf("join returned at %v, want 7", end)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			s.Wait(p)
+			woke++
+		})
+	}
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(1)
+		s.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}
+
+func TestSignalWaitTimeoutExpires(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	var signaled bool
+	var when float64
+	k.Spawn("w", func(p *Proc) {
+		signaled = s.WaitTimeout(p, 5)
+		when = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if signaled || when != 5 {
+		t.Fatalf("signaled=%v when=%v, want timeout at 5", signaled, when)
+	}
+}
+
+func TestSignalWaitTimeoutSignaled(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	var signaled bool
+	var when float64
+	k.Spawn("w", func(p *Proc) {
+		signaled = s.WaitTimeout(p, 100)
+		when = p.Now()
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(3)
+		s.Broadcast()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !signaled || when != 3 {
+		t.Fatalf("signaled=%v when=%v, want broadcast at 3", signaled, when)
+	}
+}
+
+func TestSignalTimeoutThenBroadcastNoDoubleWake(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	wakes := 0
+	k.Spawn("w", func(p *Proc) {
+		s.WaitTimeout(p, 1)
+		wakes++
+		p.Sleep(10) // stay alive past the broadcast
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(5)
+		s.Broadcast() // waiter already timed out; must not re-wake it
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 1 {
+		t.Fatalf("wakes = %d", wakes)
+	}
+}
+
+func TestSignalRepeatedTimeoutsDoNotLeak(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	k.Spawn("poller", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			s.WaitTimeout(p, 1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.waiters) > 1 {
+		t.Fatalf("waiter list leaked: %d entries", len(s.waiters))
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := NewKernel()
+	s := NewSignal(k)
+	k.Spawn("stuck", func(p *Proc) { s.Wait(p) })
+	err := k.Run()
+	de, ok := err.(*ErrDeadlock)
+	if !ok {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if len(de.Blocked) != 1 || de.Blocked[0] != "stuck" {
+		t.Fatalf("blocked = %v", de.Blocked)
+	}
+}
+
+func TestSemaphore(t *testing.T) {
+	k := NewKernel()
+	sem := NewSemaphore(k, 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		k.Spawn("u", func(p *Proc) {
+			sem.Acquire(p)
+			p.Sleep(10)
+			sem.Release()
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Two run [0,10], two run [10,20].
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if sem.Available() != 2 {
+		t.Fatalf("available = %d, want 2", sem.Available())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := NewKernel()
+	var fired []float64
+	for _, tm := range []float64{1, 2, 3, 4} {
+		tm := tm
+		k.At(tm, func() { fired = append(fired, tm) })
+	}
+	if err := k.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || k.Now() != 2.5 {
+		t.Fatalf("fired=%v now=%v", fired, k.Now())
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired=%v", fired)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(1)
+		child := k.Spawn("child", func(c *Proc) {
+			c.Sleep(1)
+			order = append(order, "child@2")
+		})
+		order = append(order, "spawned@1")
+		p.Join(child)
+		order = append(order, "joined@2")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"spawned@1", "child@2", "joined@2"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var log []string
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			k.Spawn(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(1)
+					log = append(log, name)
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	k.Spawn("a", func(p *Proc) {
+		order = append(order, "a-pre")
+		p.Sleep(0)
+		order = append(order, "a-post")
+	})
+	k.Spawn("b", func(p *Proc) {
+		order = append(order, "b")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a yields at t=0, letting b (scheduled later but same time) run before a resumes.
+	want := []string{"a-pre", "b", "a-post"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

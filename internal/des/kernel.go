@@ -1,0 +1,157 @@
+// Package des implements a deterministic discrete-event simulation kernel
+// with cooperative coroutine processes, in the style of SimGrid actors (the
+// substrate the paper's WRENCH implementation runs on).
+//
+// Exactly one goroutine runs at any instant: either the kernel loop or a
+// single simulated process. Processes hand a scheduling token back to the
+// kernel whenever they block (Sleep, Future.Get, Signal.Wait, ...), which
+// makes executions fully deterministic: events fire in (time, sequence)
+// order, and sequence numbers are allocated deterministically.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq), which keeps runs reproducible.
+type event struct {
+	t        float64
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a handle on a scheduled event that can be canceled before it
+// fires. Canceling an already-fired timer is a no-op.
+type Timer struct{ ev *event }
+
+// Cancel prevents the timer's callback from running. Safe to call multiple
+// times.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.canceled = true
+	}
+}
+
+// Kernel is the simulation engine: a virtual clock plus an event queue.
+// The zero value is not usable; call NewKernel.
+type Kernel struct {
+	now     float64
+	seq     uint64
+	events  eventHeap
+	yield   chan struct{} // processes hand the token back on this channel
+	live    int           // spawned, not yet terminated
+	blocked int           // parked waiting for a wakeup event
+	parked  map[*Proc]struct{}
+	running bool
+}
+
+// NewKernel returns an empty simulation at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{}), parked: make(map[*Proc]struct{})}
+}
+
+// Now returns the current virtual time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (k *Kernel) At(t float64, fn func()) *Timer {
+	if t < k.now {
+		t = k.now
+	}
+	e := &event{t: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d seconds from now.
+func (k *Kernel) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// ErrDeadlock is returned by Run when processes remain parked but no event
+// can ever wake them.
+type ErrDeadlock struct {
+	Blocked []string // names of parked processes
+}
+
+func (e *ErrDeadlock) Error() string {
+	return fmt.Sprintf("des: deadlock: %d process(es) parked with empty event queue: %v",
+		len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue drains, then reports a deadlock error
+// if any spawned process is still parked (a real modeling bug, e.g. a Wait
+// with no matching Broadcast).
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil executes events with time ≤ horizon (horizon < 0 means no bound).
+// Events beyond the horizon remain queued; the clock advances to the horizon
+// if it was reached.
+func (k *Kernel) RunUntil(horizon float64) error {
+	if k.running {
+		return fmt.Errorf("des: Run called re-entrantly")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for k.events.Len() > 0 {
+		next := k.events[0]
+		if horizon >= 0 && next.t > horizon {
+			k.now = horizon
+			return nil
+		}
+		heap.Pop(&k.events)
+		if next.canceled {
+			continue
+		}
+		k.now = next.t
+		next.fn()
+	}
+	if k.blocked > 0 {
+		return &ErrDeadlock{Blocked: k.parkedNames()}
+	}
+	return nil
+}
+
+func (k *Kernel) parkedNames() []string {
+	var names []string
+	for p := range k.parked {
+		names = append(names, p.name)
+	}
+	return names
+}

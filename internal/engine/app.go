@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+// App is the application-facing API: timed, logged file I/O and compute on
+// one host, in the style of a WRENCH workflow task runner.
+type App struct {
+	sim      *Simulation
+	hr       *HostRuntime
+	model    CacheModel
+	p        *des.Proc
+	instance int
+	anonHeld int64
+}
+
+// ReadFile reads the whole named file (its current size), logging an
+// operation with the given label. The application's copy is charged to
+// anonymous memory until ReleaseTaskMemory.
+func (a *App) ReadFile(file, label string) error {
+	return a.ReadFileN(file, -1, label)
+}
+
+// ReadFileN reads the first n bytes of the named file (n < 0 or n larger
+// than the file reads all of it).
+func (a *App) ReadFileN(file string, n int64, label string) error {
+	part, err := a.sim.NS.Locate(file)
+	if err != nil {
+		return err
+	}
+	f, ok := part.Lookup(file)
+	if !ok {
+		return fmt.Errorf("engine: read of missing file %s", file)
+	}
+	size := f.Size
+	if n < 0 || n > size {
+		n = size
+	}
+	start := a.p.Now()
+	if err := a.model.ReadFile(&procCaller{p: a.p, hr: a.hr}, file, n, size); err != nil {
+		return err
+	}
+	a.anonHeld += n
+	a.sim.Log.Add(trace.Op{
+		Instance: a.instance, Name: label, Kind: "read",
+		Start: start, End: a.p.Now(), Bytes: n,
+	})
+	return nil
+}
+
+// WriteFile creates (if needed) and writes size bytes of the named file on
+// part, logging an operation with the given label. Partition capacity is
+// reserved up front. Writes to remote mounts without a client write cache
+// (the paper's NFS configuration) bypass the client cache model and stream
+// straight to the server.
+func (a *App) WriteFile(file string, size int64, part *storage.Partition, label string) error {
+	if _, ok := part.Lookup(file); !ok {
+		if _, err := part.Create(file); err != nil {
+			return err
+		}
+		if err := a.sim.NS.Place(file, part); err != nil {
+			return err
+		}
+	}
+	if err := part.Append(file, size); err != nil {
+		return err
+	}
+	start := a.p.Now()
+	if m := a.hr.remotes[part]; m != nil && !m.clientWriteCache && a.hr.Mode != ModeCacheless {
+		for off := int64(0); off < size; off += m.chunk {
+			cs := m.chunk
+			if size-off < cs {
+				cs = size - off
+			}
+			m.remote.Write(a.p, file, cs)
+		}
+	} else if err := a.model.WriteFile(&procCaller{p: a.p, hr: a.hr}, file, size); err != nil {
+		return err
+	}
+	a.sim.Log.Add(trace.Op{
+		Instance: a.instance, Name: label, Kind: "write",
+		Start: start, End: a.p.Now(), Bytes: size,
+	})
+	return nil
+}
+
+// Compute burns the given CPU seconds on one core (queuing if the host is
+// fully busy), logging a compute operation.
+func (a *App) Compute(seconds float64, label string) {
+	start := a.p.Now()
+	a.hr.Host.ComputeSeconds(a.p, seconds)
+	a.sim.Log.Add(trace.Op{
+		Instance: a.instance, Name: label, Kind: "compute",
+		Start: start, End: a.p.Now(),
+	})
+}
+
+// ReleaseTaskMemory returns all anonymous memory held by this app's reads —
+// the synthetic and Nighres tasks release memory at task end (§III.D).
+func (a *App) ReleaseTaskMemory() {
+	if a.anonHeld > 0 {
+		a.model.ReleaseAnon(a.anonHeld)
+		a.anonHeld = 0
+	}
+}
+
+// DeleteFile removes the file from its partition and invalidates cached
+// state on this host.
+func (a *App) DeleteFile(file string) error {
+	part, err := a.sim.NS.Locate(file)
+	if err != nil {
+		return err
+	}
+	if err := part.Delete(file); err != nil {
+		return err
+	}
+	a.sim.NS.Forget(file)
+	a.model.InvalidateFile(file)
+	return nil
+}
+
+// Sleep suspends the application for d simulated seconds.
+func (a *App) Sleep(d float64) { a.p.Sleep(d) }
+
+// Proc exposes the underlying simulated process, letting higher-level
+// schedulers (e.g. internal/workflow) block the application on dependency
+// futures.
+func (a *App) Proc() *des.Proc { return a.p }
+
+// Now returns the current simulated time.
+func (a *App) Now() float64 { return a.p.Now() }
+
+// Instance returns the application instance index.
+func (a *App) Instance() int { return a.instance }
+
+// Host returns the host runtime the app runs on.
+func (a *App) Host() *HostRuntime { return a.hr }
+
+// SnapshotCache labels the host cache contents right now (Fig 4c hooks).
+func (a *App) SnapshotCache(label string) { a.hr.SnapshotCache(label, a.p.Now()) }

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+// Platform is a realized platform.Config: hosts, partitions and links by
+// name, ready for workload placement.
+type Platform struct {
+	Hosts      map[string]*HostRuntime
+	Partitions map[string]*storage.Partition
+	Links      map[string]*platform.Link
+}
+
+// BuildPlatform realizes a JSON platform description on the simulation. All
+// hosts get the given cache mode; cache configuration derives from each
+// host's RAM via core.DefaultConfig, with dirtyRatio overridden when > 0.
+func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64, dirtyRatio float64) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Hosts:      make(map[string]*HostRuntime),
+		Partitions: make(map[string]*storage.Partition),
+		Links:      make(map[string]*platform.Link),
+	}
+	for _, hc := range cfg.Hosts {
+		spec, err := hc.HostSpec()
+		if err != nil {
+			return nil, err
+		}
+		cacheCfg := core.DefaultConfig(spec.MemoryCap)
+		if dirtyRatio > 0 {
+			cacheCfg.DirtyRatio = dirtyRatio
+		}
+		hr, err := s.AddHost(spec, mode, cacheCfg, chunk)
+		if err != nil {
+			return nil, fmt.Errorf("engine: building host %s: %w", hc.Name, err)
+		}
+		p.Hosts[hc.Name] = hr
+		for _, dc := range hc.Disks {
+			dspec, capacity, err := dc.DeviceSpec()
+			if err != nil {
+				return nil, err
+			}
+			part, err := hr.AddDisk(dspec, dc.Partition, capacity)
+			if err != nil {
+				return nil, fmt.Errorf("engine: building disk %s: %w", dc.Name, err)
+			}
+			p.Partitions[dc.Partition] = part
+		}
+	}
+	for _, lc := range cfg.Links {
+		link, err := platform.NewLink(s.Sys, lc.LinkSpec())
+		if err != nil {
+			return nil, err
+		}
+		p.Links[lc.Name] = link
+	}
+	return p, nil
+}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+const twoNodeConfig = `{
+  "hosts": [
+    {"name": "client", "cores": 4, "gflops": 1, "ram": "8GiB",
+     "memReadMBps": 1000, "memWriteMBps": 1000},
+    {"name": "server", "cores": 4, "gflops": 1, "ram": "8GiB",
+     "memReadMBps": 1000, "memWriteMBps": 1000,
+     "disks": [{"name": "srv.disk", "readMBps": 100, "writeMBps": 100,
+                "capacity": "100GiB", "partition": "export"}]}
+  ],
+  "links": [{"name": "net", "mbps": 500}]
+}`
+
+func TestBuildPlatformFromConfig(t *testing.T) {
+	cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulation()
+	p, err := sim.BuildPlatform(cfg, ModeWriteback, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hosts) != 2 || len(p.Partitions) != 1 || len(p.Links) != 1 {
+		t.Fatalf("platform: hosts=%d parts=%d links=%d", len(p.Hosts), len(p.Partitions), len(p.Links))
+	}
+	client, server := p.Hosts["client"], p.Hosts["server"]
+	if client == nil || server == nil {
+		t.Fatal("hosts missing")
+	}
+	export := p.Partitions["export"]
+	if export == nil || export.Capacity() != 100<<30 {
+		t.Fatalf("partition: %+v", export)
+	}
+	// The built platform is fully usable: mount and run an app.
+	if err := client.MountRemote(export, p.Links["net"], MountOpts{Chunk: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := export.CreateSized("f", 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.NS.Place("f", export); err != nil {
+		t.Fatal(err)
+	}
+	sim.SpawnApp(client, 0, "app", func(a *App) error {
+		err := a.ReadFile("f", "r")
+		a.ReleaseTaskMemory()
+		return err
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.Log.ByName("r")) != 1 {
+		t.Fatal("op not logged")
+	}
+}
+
+func TestBuildPlatformDirtyRatioOverride(t *testing.T) {
+	cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulation()
+	p, err := sim.BuildPlatform(cfg, ModeWriteback, 1<<20, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Hosts["client"].Model.Snapshot()
+	if st.DirtyThreshold != int64(0.5*float64(st.Available)) {
+		t.Fatalf("dirty threshold %d of %d", st.DirtyThreshold, st.Available)
+	}
+}
+
+func TestBuildPlatformRejectsInvalid(t *testing.T) {
+	sim := NewSimulation()
+	if _, err := sim.BuildPlatform(&platform.Config{}, ModeWriteback, 1<<20, 0); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

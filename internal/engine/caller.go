@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// procCaller implements core.Caller for one simulated process on one host.
+// It routes disk traffic to the file's backing partition — through the local
+// device, or through the NFS substrate when the partition is mounted
+// remotely — and memory traffic to the host RAM device.
+type procCaller struct {
+	p  *des.Proc
+	hr *HostRuntime
+}
+
+func (c *procCaller) Now() float64 { return c.p.Now() }
+
+// Proc exposes the simulated process for models that need condition waits
+// (linuxref's balance_dirty_pages throttling).
+func (c *procCaller) Proc() *des.Proc { return c.p }
+
+func (c *procCaller) MemRead(n int64)  { c.hr.Host.Memory().Read(c.p, n) }
+func (c *procCaller) MemWrite(n int64) { c.hr.Host.Memory().Write(c.p, n) }
+
+func (c *procCaller) DiskRead(file string, n int64) {
+	part, err := c.hr.sim.NS.Locate(file)
+	if err != nil {
+		panic(fmt.Sprintf("engine: DiskRead of unplaced file %s", file))
+	}
+	if m := c.hr.remotes[part]; m != nil {
+		size := int64(0)
+		if f, ok := part.Lookup(file); ok {
+			size = f.Size
+		}
+		if c.hr.Mode == ModeCacheless {
+			m.remote.RawRead(c.p, n)
+			return
+		}
+		m.remote.Read(c.p, file, size, n)
+		return
+	}
+	part.Device().Read(c.p, n)
+}
+
+func (c *procCaller) DiskWrite(file string, n int64) {
+	part, err := c.hr.sim.NS.Locate(file)
+	if err != nil {
+		panic(fmt.Sprintf("engine: DiskWrite of unplaced file %s", file))
+	}
+	if m := c.hr.remotes[part]; m != nil {
+		if c.hr.Mode == ModeCacheless {
+			m.remote.RawWrite(c.p, n)
+			return
+		}
+		m.remote.Write(c.p, file, n)
+		return
+	}
+	part.Device().Write(c.p, n)
+}

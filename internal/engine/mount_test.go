@@ -1,0 +1,184 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/storage"
+)
+
+// nfsRig builds client+server with a mountable export: link 50 B/s, server
+// disk 10 B/s, memories 100 B/s, RAM 1000 B, chunk 10.
+type nfsRig struct {
+	sim            *Simulation
+	client, server *HostRuntime
+	part           *storage.Partition
+	link           *platform.Link
+	srvMgr         *core.Manager
+}
+
+func newNFSRig(t *testing.T) *nfsRig {
+	t.Helper()
+	sim := NewSimulation()
+	mk := func(name string) *HostRuntime {
+		hr, err := sim.AddHost(platform.HostSpec{
+			Name: name, Cores: 4, FlopRate: 1e9, MemoryCap: 1000,
+			Memory: platform.DeviceSpec{Name: name + ".mem", ReadBW: 100, WriteBW: 100},
+		}, ModeWriteback, core.DefaultConfig(1000), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hr
+	}
+	client, server := mk("client"), mk("server")
+	part, err := server.AddDisk(platform.DeviceSpec{Name: "srv.disk", ReadBW: 10, WriteBW: 10}, "export", 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := platform.NewLink(sim.Sys, platform.LinkSpec{Name: "net", BW: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvMgr, err := core.NewManager(core.DefaultConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &nfsRig{sim: sim, client: client, server: server, part: part, link: link, srvMgr: srvMgr}
+}
+
+func TestMountValidation(t *testing.T) {
+	r := newNFSRig(t)
+	// Local partition cannot be remote-mounted by its owner.
+	localPart, err := r.client.AddDisk(platform.DeviceSpec{Name: "c.disk", ReadBW: 10, WriteBW: 10}, "local", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.MountRemote(localPart, r.link, MountOpts{Chunk: 10}); err == nil {
+		t.Fatal("self-mount accepted")
+	}
+	// Zero chunk rejected.
+	if err := r.client.MountRemote(r.part, r.link, MountOpts{}); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	// Unowned partition rejected.
+	orphan, err := storage.NewPartition("orphan", 100, r.part.Device())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.client.MountRemote(orphan, r.link, MountOpts{Chunk: 10}); err == nil {
+		t.Fatal("orphan partition accepted")
+	}
+}
+
+func TestClientWriteCacheMountOption(t *testing.T) {
+	r := newNFSRig(t)
+	if err := r.client.MountRemote(r.part, r.link, MountOpts{
+		SrvMgr: r.srvMgr, SrvMem: r.server.Host.Memory(), Chunk: 10,
+		ClientWriteCache: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.SpawnApp(r.client, 0, "app", func(a *App) error {
+		// With a client write cache, a small write is absorbed locally at
+		// memory speed (dirty threshold 200 B), not pushed synchronously.
+		return a.WriteFile("wf", 100, r.part, "w")
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := r.sim.Log.ByName("w")[0].Duration()
+	if d > 1.5 { // 100 B at 100 B/s memory = 1 s; remote path would be 10 s
+		t.Fatalf("write = %v, want memory speed with client write cache", d)
+	}
+	st := r.client.Model.Snapshot()
+	if st.Dirty != 100 {
+		t.Fatalf("client dirty = %d, want 100", st.Dirty)
+	}
+}
+
+func TestClientWritebackFlushesOverNetwork(t *testing.T) {
+	r := newNFSRig(t)
+	if err := r.client.MountRemote(r.part, r.link, MountOpts{
+		SrvMgr: r.srvMgr, SrvMem: r.server.Host.Memory(), Chunk: 10,
+		ClientWriteCache: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.SpawnApp(r.client, 0, "app", func(a *App) error {
+		if err := a.WriteFile("wf", 100, r.part, "w"); err != nil {
+			return err
+		}
+		a.Sleep(40) // expiry (30 s) + flush tick
+		return nil
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The periodic flusher pushed the dirty data through the mount: it is
+	// clean on the client and cached on the server (writethrough insert).
+	if st := r.client.Model.Snapshot(); st.Dirty != 0 {
+		t.Fatalf("client dirty = %d after expiry", st.Dirty)
+	}
+	if got := r.srvMgr.Cached("wf"); got != 100 {
+		t.Fatalf("server cached = %d, want 100 (flush arrived)", got)
+	}
+}
+
+func TestWritebackServerMount(t *testing.T) {
+	r := newNFSRig(t)
+	if err := r.client.MountRemote(r.part, r.link, MountOpts{
+		SrvMgr: r.srvMgr, SrvMem: r.server.Host.Memory(), Chunk: 10,
+		ServerWriteback: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	r.sim.SpawnApp(r.client, 0, "app", func(a *App) error {
+		// Writeback server absorbs the write at min(link, server mem) =
+		// 50 B/s → 2 s (writethrough would be disk-bound at 10 s).
+		if err := a.WriteFile("wf", 100, r.part, "w"); err != nil {
+			return err
+		}
+		a.Sleep(40) // let the server-side dirty data expire and flush
+		return nil
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := r.sim.Log.ByName("w")[0].Duration()
+	if d > 2.5 {
+		t.Fatalf("write = %v, want ≈2 with writeback server", d)
+	}
+	// The server-side flusher process cleaned the expired dirty data.
+	if r.srvMgr.Dirty() != 0 {
+		t.Fatalf("server dirty = %d after expiry window", r.srvMgr.Dirty())
+	}
+	if r.srvMgr.Cached("wf") != 100 {
+		t.Fatalf("server cache lost the data: %d", r.srvMgr.Cached("wf"))
+	}
+}
+
+func TestRemoteAccessOfMissingMountPanicsCleanly(t *testing.T) {
+	r := newNFSRig(t)
+	// Reading a file on an unmounted remote partition: the file can be
+	// located but the client has no path to it — app reads it as if local
+	// to the server... the namespace locates it, but this host treats it as
+	// local-partition-of-other-host, which is a configuration error.
+	if _, err := r.part.CreateSized("f", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sim.NS.Place("f", r.part); err != nil {
+		t.Fatal(err)
+	}
+	// Not mounted: the engine reads through the partition's device without
+	// network cost. This documents current behaviour (shared-storage
+	// semantics) rather than panicking.
+	r.sim.SpawnApp(r.client, 0, "app", func(a *App) error {
+		err := a.ReadFile("f", "r")
+		a.ReleaseTaskMemory()
+		return err
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/platform"
+	"repro/internal/pysim"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Exp1Result holds one single-threaded run comparison (Figs 4a–4c for one
+// input size).
+type Exp1Result struct {
+	Size int64
+	Ops  []string
+	// Durations[stack][i] is the duration of Ops[i] in seconds.
+	Durations map[Stack][]float64
+	// Errors[stack] are per-op absolute relative errors vs StackReal (%).
+	Errors map[Stack][]metrics.ErrRow
+	// MeanErr[stack] averages the per-op errors (the paper's headline).
+	MeanErr map[Stack]float64
+	// Mem[stack] is the memory profile (Fig 4b).
+	Mem map[Stack]*trace.MemSeries
+	// Snaps[stack] are the per-op cache contents (Fig 4c; real and cache).
+	Snaps map[Stack]*trace.SnapshotLog
+}
+
+// RunExp1 executes Exp 1 for one input size across all four stacks:
+// real-proxy, prototype, cacheless baseline, and page-cache model.
+func RunExp1(size int64) (*Exp1Result, error) {
+	res := &Exp1Result{
+		Size:      size,
+		Ops:       workload.SyntheticOps(),
+		Durations: map[Stack][]float64{},
+		Errors:    map[Stack][]metrics.ErrRow{},
+		MeanErr:   map[Stack]float64{},
+		Mem:       map[Stack]*trace.MemSeries{},
+		Snaps:     map[Stack]*trace.SnapshotLog{},
+	}
+	cpu := workload.SyntheticCPU(size)
+	files := workload.SyntheticFiles(0)
+
+	// Real proxy.
+	if err := res.runEngine(StackReal, size, cpu, files, nil); err != nil {
+		return nil, err
+	}
+	// Cacheless baseline and page-cache model.
+	if err := res.runEngine(StackCacheless, size, cpu, files, ptrMode(engine.ModeCacheless)); err != nil {
+		return nil, err
+	}
+	if err := res.runEngine(StackCache, size, cpu, files, ptrMode(engine.ModeWriteback)); err != nil {
+		return nil, err
+	}
+	// Prototype.
+	if err := res.runPysim(size, cpu, files); err != nil {
+		return nil, err
+	}
+
+	real := res.Durations[StackReal]
+	for _, st := range []Stack{StackPysim, StackCacheless, StackCache} {
+		rows := metrics.Errors(res.Ops, real, res.Durations[st])
+		res.Errors[st] = rows
+		res.MeanErr[st] = metrics.MeanErr(rows)
+	}
+	return res, nil
+}
+
+func ptrMode(m engine.Mode) *engine.Mode { return &m }
+
+func (r *Exp1Result) runEngine(st Stack, size int64, cpu float64, files [4]string, mode *engine.Mode) error {
+	var rig *LocalRig
+	var err error
+	if mode == nil {
+		rig, _, err = NewLocalReal(0)
+	} else {
+		rig, err = NewLocalSim(*mode)
+	}
+	if err != nil {
+		return err
+	}
+	if err := createInput(rig.Sim, rig.Part, files[0], size); err != nil {
+		return err
+	}
+	rig.Host.EnableMemTrace(1)
+	rig.Sim.SpawnApp(rig.Host, 0, string(st), func(a *engine.App) error {
+		return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: rig.Part}, workload.SyntheticSpec{
+			Size: size, CPU: cpu, Files: files, Snapshot: true,
+		})
+	})
+	if err := rig.Sim.Run(); err != nil {
+		return fmt.Errorf("exp1 %s: %w", st, err)
+	}
+	r.Durations[st] = opDurations(rig.Sim.Log, r.Ops)
+	r.Mem[st] = rig.Host.MemTrace
+	r.Snaps[st] = rig.Host.Snaps
+	return nil
+}
+
+func (r *Exp1Result) runPysim(size int64, cpu float64, files [4]string) error {
+	t3 := platform.TableIII()
+	sim, err := pysim.New(pysim.Config{
+		MemBW:  units.MBps(t3.SimMemMBps),
+		DiskBW: units.MBps(t3.SimLocalMBps),
+		Cache:  coreDefault(),
+		Chunk:  ChunkSize,
+	})
+	if err != nil {
+		return err
+	}
+	sim.CreateFile(files[0], size)
+	if err := workload.RunSynthetic(sim, workload.SyntheticSpec{
+		Size: size, CPU: cpu, Files: files, Snapshot: true,
+	}); err != nil {
+		return fmt.Errorf("exp1 pysim: %w", err)
+	}
+	r.Durations[StackPysim] = opDurations(sim.Log, r.Ops)
+	r.Mem[StackPysim] = sim.MemTrace
+	r.Snaps[StackPysim] = sim.Snaps
+	return nil
+}
+
+// opDurations extracts op durations in the given order (one op per label).
+func opDurations(log *trace.OpLog, ops []string) []float64 {
+	out := make([]float64, len(ops))
+	for i, name := range ops {
+		recs := log.ByName(name)
+		var d float64
+		for _, o := range recs {
+			d += o.Duration()
+		}
+		out[i] = d
+	}
+	return out
+}

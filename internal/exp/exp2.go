@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// ConcurrentPoint is one x-position of Figs 5/7: N concurrent application
+// instances, with per-stack mean read and write times (mean over instances
+// of the instance's summed read/write-phase durations), plus the real
+// proxy's min–max interval over repetitions.
+type ConcurrentPoint struct {
+	N         int
+	ReadTime  map[Stack]float64
+	WriteTime map[Stack]float64
+	// RealReadMin/Max and RealWriteMin/Max bound the repetition spread.
+	RealReadMin, RealReadMax   float64
+	RealWriteMin, RealWriteMax float64
+}
+
+// ConcurrentResult is a full Fig 5 (local) or Fig 7 (NFS) series.
+type ConcurrentResult struct {
+	Remote bool
+	Points []ConcurrentPoint
+}
+
+// ConcurrencyLevels returns the paper's 1..32 instance counts (cluster
+// nodes have 32 cores). A stride lets callers thin the sweep for quick
+// runs; stride 1 reproduces the full figure.
+func ConcurrencyLevels(max, stride int) []int {
+	var out []int
+	for n := 1; n <= max; n += stride {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// RunExp2 executes the local concurrent-applications experiment (Fig 5):
+// N instances, each a 3-task synthetic app on its own 3 GB files, all
+// sharing one node and one local disk. reps sets the real-proxy repetition
+// count (the paper uses 5).
+func RunExp2(levels []int, reps int) (*ConcurrentResult, error) {
+	return runConcurrent(levels, reps, false, 3*units.GB)
+}
+
+// RunExp3 executes the NFS variant (Fig 7): same workload, all I/O on a
+// remote partition with a writethrough server cache.
+func RunExp3(levels []int, reps int) (*ConcurrentResult, error) {
+	return runConcurrent(levels, reps, true, 3*units.GB)
+}
+
+func runConcurrent(levels []int, reps int, remote bool, size int64) (*ConcurrentResult, error) {
+	res := &ConcurrentResult{Remote: remote}
+	for _, n := range levels {
+		pt := ConcurrentPoint{
+			N:         n,
+			ReadTime:  map[Stack]float64{},
+			WriteTime: map[Stack]float64{},
+		}
+		// Simulators: one deterministic run each.
+		for _, st := range []Stack{StackCacheless, StackCache} {
+			mode := engine.ModeWriteback
+			if st == StackCacheless {
+				mode = engine.ModeCacheless
+			}
+			rt, wt, _, err := concurrentRun(n, size, remote, &mode, 0, 0)
+			if err != nil {
+				return nil, fmt.Errorf("exp concurrent %s n=%d: %w", st, n, err)
+			}
+			pt.ReadTime[st] = rt
+			pt.WriteTime[st] = wt
+		}
+		// Real proxy: reps jittered repetitions → mean and min–max.
+		var rsum, wsum float64
+		rmin, rmax := 1e300, -1e300
+		wmin, wmax := 1e300, -1e300
+		for rep := 0; rep < reps; rep++ {
+			rt, wt, _, err := concurrentRun(n, size, remote, nil, 0.03, rep)
+			if err != nil {
+				return nil, fmt.Errorf("exp concurrent real n=%d rep=%d: %w", n, rep, err)
+			}
+			rsum += rt
+			wsum += wt
+			rmin, rmax = minF(rmin, rt), maxF(rmax, rt)
+			wmin, wmax = minF(wmin, wt), maxF(wmax, wt)
+		}
+		pt.ReadTime[StackReal] = rsum / float64(reps)
+		pt.WriteTime[StackReal] = wsum / float64(reps)
+		pt.RealReadMin, pt.RealReadMax = rmin, rmax
+		pt.RealWriteMin, pt.RealWriteMax = wmin, wmax
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// concurrentRun executes one simulation with n synthetic instances and
+// returns (mean read time, mean write time, makespan). mode nil selects the
+// real proxy with the given jitter and repetition seed.
+func concurrentRun(n int, size int64, remote bool, mode *engine.Mode, jitter float64, rep int) (readT, writeT, makespan float64, err error) {
+	var sim *engine.Simulation
+	var host *engine.HostRuntime
+	var part *storage.Partition
+	if remote {
+		var rig *NFSRig
+		if mode == nil {
+			rig, err = NewNFSReal(jitter)
+		} else {
+			rig, err = NewNFSSim(*mode)
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sim, host, part = rig.Sim, rig.Client, rig.Part
+	} else {
+		var rig *LocalRig
+		if mode == nil {
+			rig, _, err = NewLocalReal(jitter)
+		} else {
+			rig, err = NewLocalSim(*mode)
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		sim, host, part = rig.Sim, rig.Host, rig.Part
+	}
+	cpu := workload.SyntheticCPU(size)
+	for i := 0; i < n; i++ {
+		files := workload.SyntheticFiles(i)
+		if err := createInput(sim, part, files[0], size); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		files := workload.SyntheticFiles(i)
+		scale := 1.0
+		if jitter > 0 {
+			scale = jitterScale(i, rep, jitter)
+		}
+		sim.SpawnApp(host, i, fmt.Sprintf("app%d", i), func(a *engine.App) error {
+			return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: part}, workload.SyntheticSpec{
+				Size: size, CPU: cpu, Files: files, CPUScale: scale,
+			})
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return 0, 0, 0, err
+	}
+	return sim.Log.MeanPerInstance("read"), sim.Log.MeanPerInstance("write"), sim.Makespan(), nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// jitterScale derives a deterministic per-instance, per-repetition compute
+// perturbation in [1−j, 1+j] (the real cluster's repetition noise).
+func jitterScale(instance, rep int, j float64) float64 {
+	h := uint32(instance*2654435761 + rep*40503 + 12345)
+	h ^= h >> 13
+	h *= 2246822519
+	h ^= h >> 16
+	x := float64(h%2000)/1000 - 1 // [-1, 1)
+	return 1 + j*x
+}

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Exp4Result compares the Nighres workflow across stacks (Fig 6).
+type Exp4Result struct {
+	Ops       []string
+	Durations map[Stack][]float64
+	Errors    map[Stack][]metrics.ErrRow
+	MeanErr   map[Stack]float64
+}
+
+// RunExp4 executes the real-application experiment: the four-step Nighres
+// cortical reconstruction workflow (Table II) on a single node with local
+// I/O, comparing the cacheless baseline and the page-cache model against
+// the real proxy.
+func RunExp4() (*Exp4Result, error) {
+	res := &Exp4Result{
+		Ops:       workload.NighresOps(),
+		Durations: map[Stack][]float64{},
+		Errors:    map[Stack][]metrics.ErrRow{},
+		MeanErr:   map[Stack]float64{},
+	}
+	for _, st := range []Stack{StackReal, StackCacheless, StackCache} {
+		var rig *LocalRig
+		var err error
+		switch st {
+		case StackReal:
+			rig, _, err = NewLocalReal(0)
+		case StackCacheless:
+			rig, err = NewLocalSim(engine.ModeCacheless)
+		default:
+			rig, err = NewLocalSim(engine.ModeWriteback)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := createInput(rig.Sim, rig.Part, workload.NighresInput, workload.NighresInputSize); err != nil {
+			return nil, err
+		}
+		rig.Sim.SpawnApp(rig.Host, 0, string(st), func(a *engine.App) error {
+			return workload.RunNighres(&workload.EngineRunner{App: a, Part: rig.Part})
+		})
+		if err := rig.Sim.Run(); err != nil {
+			return nil, fmt.Errorf("exp4 %s: %w", st, err)
+		}
+		res.Durations[st] = opDurations(rig.Sim.Log, res.Ops)
+	}
+	real := res.Durations[StackReal]
+	for _, st := range []Stack{StackCacheless, StackCache} {
+		rows := metrics.Errors(res.Ops, real, res.Durations[st])
+		res.Errors[st] = rows
+		res.MeanErr[st] = metrics.MeanErr(rows)
+	}
+	return res, nil
+}

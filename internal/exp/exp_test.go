@@ -1,0 +1,361 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/units"
+)
+
+// These tests assert the paper's qualitative claims (the "shape" of every
+// figure) on reduced-scale runs, so the full evaluation in cmd/experiments
+// is continuously verified by `go test`.
+
+func TestExp1HeadlineErrorReduction(t *testing.T) {
+	for _, gb := range []int64{20, 100} {
+		res, err := RunExp1(gb * units.GB)
+		if err != nil {
+			t.Fatalf("%dGB: %v", gb, err)
+		}
+		wrench := res.MeanErr[StackCacheless]
+		cache := res.MeanErr[StackCache]
+		// The paper's headline: the page-cache model reduces error by a
+		// large factor (up to 9× in the paper; we require ≥3× to be robust
+		// to proxy drift).
+		if cache*3 > wrench {
+			t.Fatalf("%dGB: cache err %.1f%% not ≪ wrench err %.1f%%", gb, cache, wrench)
+		}
+		// First read is uncached: every simulator must get it nearly right
+		// (paper: "The first read was not impacted").
+		if e := res.Errors[StackCache][0].ErrPct; e > 15 {
+			t.Fatalf("%dGB: Read 1 error %.1f%%, want small", gb, e)
+		}
+		if e := res.Errors[StackCacheless][0].ErrPct; e > 15 {
+			t.Fatalf("%dGB: cacheless Read 1 error %.1f%%, want small", gb, e)
+		}
+	}
+}
+
+func TestExp1WrenchErrorDropsAt100GB(t *testing.T) {
+	// Paper: "WRENCH simulation errors were substantially lower with 100 GB
+	// files than with 20 GB files" (part of the data no longer fits in
+	// cache, so a cacheless model is less wrong).
+	res20, err := RunExp1(20 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res100, err := RunExp1(100 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res100.MeanErr[StackCacheless] >= res20.MeanErr[StackCacheless] {
+		t.Fatalf("wrench err: 20GB=%.0f%% 100GB=%.0f%%, expected decrease",
+			res20.MeanErr[StackCacheless], res100.MeanErr[StackCacheless])
+	}
+	// Conversely the cache models get harder at 100 GB (kernel
+	// idiosyncrasies under memory pressure).
+	if res100.MeanErr[StackCache] <= res20.MeanErr[StackCache] {
+		t.Fatalf("cache err: 20GB=%.0f%% 100GB=%.0f%%, expected increase",
+			res20.MeanErr[StackCache], res100.MeanErr[StackCache])
+	}
+}
+
+func TestExp1IntermediateSizes(t *testing.T) {
+	// Paper: "Results with files of 50 GB and 75 GB showed similar
+	// behaviors and are not reported for brevity." Verify the claim: the
+	// headline reduction holds at those sizes, and errors vary smoothly
+	// between the 20 GB and 100 GB regimes.
+	for _, gb := range []int64{20, 50, 75, 100} {
+		res, err := RunExp1(gb * units.GB)
+		if err != nil {
+			t.Fatalf("%dGB: %v", gb, err)
+		}
+		cache, wrench := res.MeanErr[StackCache], res.MeanErr[StackCacheless]
+		if cache*3 > wrench {
+			t.Fatalf("%dGB: reduction lost (cache %.0f%%, wrench %.0f%%)", gb, cache, wrench)
+		}
+		if cache > 150 {
+			t.Fatalf("%dGB: cache error %.0f%% out of band", gb, cache)
+		}
+		// Note: the cache error is NOT monotone in size — it dips at
+		// 50/75 GB (everything fits comfortably, no pressure effects) and
+		// spikes at 100 GB where the kernel's eviction idiosyncrasies
+		// appear. The paper reports 50/75 GB as "similar behaviors".
+	}
+}
+
+func TestExp1PysimAgreesWithEngine(t *testing.T) {
+	// The paper validates its WRENCH implementation by agreement with the
+	// prototype ("exhibited nearly identical memory profiles"). At 20 GB
+	// (no memory pressure) the two must match op-for-op.
+	res, err := RunExp1(20 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range res.Ops {
+		p := res.Durations[StackPysim][i]
+		c := res.Durations[StackCache][i]
+		diff := p - c
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*(p+c)/2+1e-9 {
+			t.Fatalf("%s: pysim %.2f vs engine %.2f", op, p, c)
+		}
+	}
+}
+
+func TestExp1MemoryProfilesConsistent(t *testing.T) {
+	res, err := RunExp1(20 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Stack{StackReal, StackPysim, StackCache} {
+		ms := res.Mem[st]
+		if ms == nil || len(ms.Points) == 0 {
+			t.Fatalf("%s: no memory profile", st)
+		}
+		for _, p := range ms.Points {
+			if p.Used != p.Anon+p.Cache {
+				t.Fatalf("%s: used != anon+cache at t=%v", st, p.T)
+			}
+			if p.Dirty > p.Cache {
+				t.Fatalf("%s: dirty > cache at t=%v", st, p.T)
+			}
+		}
+		// Peak usage reaches at least 2× the file size (anon + cache).
+		if ms.MaxUsed() < 40*units.GB {
+			t.Fatalf("%s: peak used %d too small", st, ms.MaxUsed())
+		}
+	}
+}
+
+func TestExp1CacheContentsAllFilesCached20GB(t *testing.T) {
+	// Paper Fig 4c: "With 20 GB files, the simulated cache content exactly
+	// matched reality, since all files fitted in page cache."
+	res, err := RunExp1(20 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []Stack{StackReal, StackCache} {
+		last := res.Snaps[st].Snaps[len(res.Snaps[st].Snaps)-1]
+		var total int64
+		for _, v := range last.ByFile {
+			total += v
+		}
+		if total < 75*units.GB { // 4 files × 20 GB, allowing folio rounding
+			t.Fatalf("%s: final cache %d, want ≈80GB", st, total)
+		}
+	}
+}
+
+func TestExp2Shapes(t *testing.T) {
+	res, err := RunExp2([]int{1, 16, 32}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	// Reads: cache model tracks real; cacheless hugely over.
+	if last.ReadTime[StackCacheless] < 2*last.ReadTime[StackReal] {
+		t.Fatalf("cacheless read %.0f not ≫ real %.0f", last.ReadTime[StackCacheless], last.ReadTime[StackReal])
+	}
+	relErr := func(sim, real float64) float64 {
+		d := sim - real
+		if d < 0 {
+			d = -d
+		}
+		return d / real
+	}
+	if e := relErr(last.ReadTime[StackCache], last.ReadTime[StackReal]); e > 0.5 {
+		t.Fatalf("cache read err %.2f at N=32", e)
+	}
+	// Monotonic growth with N for every stack.
+	for _, st := range []Stack{StackReal, StackCacheless, StackCache} {
+		if last.ReadTime[st] <= first.ReadTime[st] {
+			t.Fatalf("%s read time not growing with N", st)
+		}
+	}
+	// Real min–max interval brackets the mean.
+	if last.RealReadMin > last.ReadTime[StackReal] || last.RealReadMax < last.ReadTime[StackReal] {
+		t.Fatal("repetition interval does not bracket the mean")
+	}
+}
+
+func TestExp3WritesDiskBoundForAll(t *testing.T) {
+	res, err := RunExp3([]int{1, 16}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: NFS server is writethrough, so page-cache simulation
+	// "manifested only for reads" — both simulators put writes at disk
+	// speed, and both slightly underestimate the real writes.
+	for _, p := range res.Points {
+		cacheW, wrenchW := p.WriteTime[StackCache], p.WriteTime[StackCacheless]
+		diff := cacheW - wrenchW
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*wrenchW {
+			t.Fatalf("N=%d: write times diverge: cache %.0f vs wrench %.0f", p.N, cacheW, wrenchW)
+		}
+		if p.WriteTime[StackReal] < wrenchW {
+			t.Fatalf("N=%d: real write %.0f faster than simulated %.0f", p.N, p.WriteTime[StackReal], wrenchW)
+		}
+	}
+	// Reads: cache model must beat the baseline.
+	last := res.Points[len(res.Points)-1]
+	if last.ReadTime[StackCacheless] < 2*last.ReadTime[StackCache] {
+		t.Fatalf("NFS reads: wrench %.0f not ≫ cache %.0f", last.ReadTime[StackCacheless], last.ReadTime[StackCache])
+	}
+}
+
+func TestExp4NighresErrorReduction(t *testing.T) {
+	res, err := RunExp4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanErr[StackCache]*3 > res.MeanErr[StackCacheless] {
+		t.Fatalf("cache %.0f%% not ≪ wrench %.0f%%",
+			res.MeanErr[StackCache], res.MeanErr[StackCacheless])
+	}
+	// Paper: "The first read happened entirely from disk and was therefore
+	// very accurately simulated by both."
+	if e := res.Errors[StackCacheless][0].ErrPct; e > 15 {
+		t.Fatalf("wrench Read 1 err %.1f%%", e)
+	}
+	if e := res.Errors[StackCache][0].ErrPct; e > 15 {
+		t.Fatalf("cache Read 1 err %.1f%%", e)
+	}
+}
+
+func TestSimTimeScalesLinearly(t *testing.T) {
+	res, err := RunSimTime([]int{1, 8, 16, 24, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if len(s.N) != 5 {
+			t.Fatalf("%s: %d points", s.Label, len(s.N))
+		}
+		if s.Fit.Slope < 0 {
+			t.Fatalf("%s: negative slope %v", s.Label, s.Fit.Slope)
+		}
+		// Wall times are tiny but must grow overall.
+		if s.Seconds[4] <= s.Seconds[0] {
+			t.Fatalf("%s: no growth: %v", s.Label, s.Seconds)
+		}
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	res, err := RunAblations(100 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]float64{}
+	for _, r := range res.Rows {
+		byName[r.Name] = r.MeanErr
+	}
+	base := byName["paper default (symmetric bw)"]
+	// The paper's two identified error sources must each help, and combined
+	// must help the most.
+	if byName["asymmetric bandwidths"] >= base {
+		t.Fatalf("asymmetric bw did not help: %.1f vs %.1f", byName["asymmetric bandwidths"], base)
+	}
+	if byName["evict-protects-open-writes"] >= base {
+		t.Fatalf("protection did not help: %.1f vs %.1f", byName["evict-protects-open-writes"], base)
+	}
+	both := byName["asymmetric + protection"]
+	if both >= byName["asymmetric bandwidths"] || both >= byName["evict-protects-open-writes"] {
+		t.Fatalf("combined fix not best: %.1f", both)
+	}
+	// Chunk size is a robustness knob, not an accuracy one.
+	if d := byName["chunk 10 MB"] - base; d > 5 || d < -5 {
+		t.Fatalf("chunk size unexpectedly matters: %.1f vs %.1f", byName["chunk 10 MB"], base)
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	res1, err := RunExp1(20 * units.GB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	res1.Render(&b)
+	res1.RenderMemProfiles(&b)
+	res1.RenderCacheContents(&b)
+	out := b.String()
+	for _, want := range []string{"Fig 4a", "Fig 4b", "Fig 4c", "wrench-cache", "paper"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	res2, err := RunExp2([]int{1, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	res2.Render(&b)
+	if !strings.Contains(b.String(), "Fig 5") {
+		t.Fatal("Fig 5 render broken")
+	}
+	b.Reset()
+	if err := res2.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "n,read_real") {
+		t.Fatalf("csv header: %q", b.String()[:40])
+	}
+}
+
+func TestConcurrencyLevels(t *testing.T) {
+	ls := ConcurrencyLevels(32, 1)
+	if len(ls) != 32 || ls[0] != 1 || ls[31] != 32 {
+		t.Fatalf("levels = %v", ls)
+	}
+	ls = ConcurrencyLevels(32, 5)
+	if ls[len(ls)-1] != 32 {
+		t.Fatalf("stride levels must end at max: %v", ls)
+	}
+}
+
+func TestConcurrentRunsDeterministic(t *testing.T) {
+	// The DES kernel, fluid model and engine must produce bit-identical
+	// results across runs — reproducibility is one of the paper's stated
+	// motivations for simulation.
+	run := func() (float64, float64, float64) {
+		mode := engine.ModeWriteback
+		r, w, mk, err := concurrentRun(8, 3*units.GB, false, &mode, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, w, mk
+	}
+	r1, w1, m1 := run()
+	r2, w2, m2 := run()
+	if r1 != r2 || w1 != w2 || m1 != m2 {
+		t.Fatalf("non-deterministic: (%v,%v,%v) vs (%v,%v,%v)", r1, w1, m1, r2, w2, m2)
+	}
+	// The jittered real proxy is deterministic per repetition seed too.
+	runReal := func(rep int) float64 {
+		_, _, mk, err := concurrentRun(4, 3*units.GB, false, nil, 0.03, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mk
+	}
+	if runReal(1) != runReal(1) {
+		t.Fatal("real proxy not deterministic for fixed rep")
+	}
+	if runReal(1) == runReal(2) {
+		t.Fatal("repetition jitter has no effect")
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	p := Paper()
+	if p.Exp1WrenchErr != 345 || p.Exp1CacheErr != 39 || p.Exp4WrenchErr != 337 {
+		t.Fatalf("paper constants drifted: %+v", p)
+	}
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/units"
+)
+
+// SimTimeSeries is one line of Fig 8: wall-clock simulation time (this Go
+// implementation's, not the authors' C++) as a function of concurrent
+// application instances, with its least-squares fit.
+type SimTimeSeries struct {
+	Label   string
+	N       []int
+	Seconds []float64
+	Fit     metrics.LinReg
+}
+
+// SimTimeResult is the full Fig 8: four configurations.
+type SimTimeResult struct {
+	Series []SimTimeSeries
+}
+
+// RunSimTime measures wall-clock simulation time for the Fig 8
+// configurations: baseline and page-cache model, local and NFS.
+func RunSimTime(levels []int) (*SimTimeResult, error) {
+	cfgs := []struct {
+		label  string
+		mode   engine.Mode
+		remote bool
+	}{
+		{"WRENCH (local)", engine.ModeCacheless, false},
+		{"WRENCH (NFS)", engine.ModeCacheless, true},
+		{"WRENCH-cache (local)", engine.ModeWriteback, false},
+		{"WRENCH-cache (NFS)", engine.ModeWriteback, true},
+	}
+	res := &SimTimeResult{}
+	for _, cfg := range cfgs {
+		s, err := runSimTimeSeries(cfg.label, cfg.mode, cfg.remote, levels)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// RunSimTimeConfig measures one Fig 8 configuration (used by the root
+// benchmarks, where the Go benchmark harness provides the repetitions).
+func RunSimTimeConfig(mode engine.Mode, remote bool, levels []int) (SimTimeSeries, error) {
+	label := fmt.Sprintf("%v remote=%v", mode, remote)
+	return runSimTimeSeries(label, mode, remote, levels)
+}
+
+func runSimTimeSeries(label string, mode engine.Mode, remote bool, levels []int) (SimTimeSeries, error) {
+	s := SimTimeSeries{Label: label}
+	for _, n := range levels {
+		m := mode
+		start := time.Now()
+		if _, _, _, err := concurrentRun(n, 3*units.GB, remote, &m, 0, 0); err != nil {
+			return s, fmt.Errorf("fig8 %s n=%d: %w", label, n, err)
+		}
+		s.N = append(s.N, n)
+		s.Seconds = append(s.Seconds, time.Since(start).Seconds())
+	}
+	xs := make([]float64, len(s.N))
+	for i, n := range s.N {
+		xs[i] = float64(n)
+	}
+	s.Fit = metrics.Fit(xs, s.Seconds)
+	return s, nil
+}

@@ -1,0 +1,214 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/textplot"
+	"repro/internal/units"
+)
+
+// Render prints the Fig 4a error table and supporting duration table.
+func (r *Exp1Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "== Exp 1 (single-threaded, %s files): operation durations (s) ==\n", units.FormatBytes(r.Size))
+	dt := &textplot.Table{Header: append([]string{"stack"}, r.Ops...)}
+	for _, st := range []Stack{StackReal, StackPysim, StackCacheless, StackCache} {
+		dt.AddF(string(st), "%.1f", r.Durations[st]...)
+	}
+	dt.Render(w)
+
+	fmt.Fprintf(w, "\n-- Fig 4a: absolute relative error vs real proxy (%%) --\n")
+	et := &textplot.Table{Header: append([]string{"stack"}, append(r.Ops, "mean")...)}
+	for _, st := range []Stack{StackPysim, StackCacheless, StackCache} {
+		vals := make([]float64, 0, len(r.Ops)+1)
+		for _, row := range r.Errors[st] {
+			vals = append(vals, row.ErrPct)
+		}
+		vals = append(vals, r.MeanErr[st])
+		et.AddF(string(st), "%.0f", vals...)
+	}
+	et.Render(w)
+	fmt.Fprintf(w, "paper (all sizes avg): wrench=%v%% pysim=%v%% wrench-cache=%v%%\n",
+		Paper().Exp1WrenchErr, Paper().Exp1PysimErr, Paper().Exp1CacheErr)
+}
+
+// RenderMemProfiles prints Fig 4b as ASCII charts.
+func (r *Exp1Result) RenderMemProfiles(w io.Writer) {
+	fmt.Fprintf(w, "\n-- Fig 4b: memory profiles (%s) --\n", units.FormatBytes(r.Size))
+	for _, st := range []Stack{StackReal, StackPysim, StackCache} {
+		ms := r.Mem[st]
+		if ms == nil || len(ms.Points) == 0 {
+			continue
+		}
+		var tx, used, cache, dirty []float64
+		for _, p := range ms.Points {
+			tx = append(tx, p.T)
+			used = append(used, float64(p.Used)/1e9)
+			cache = append(cache, float64(p.Cache)/1e9)
+			dirty = append(dirty, float64(p.Dirty)/1e9)
+		}
+		ch := &textplot.Chart{
+			Title:  fmt.Sprintf("%s memory profile (GB vs s)", st),
+			Series: []textplot.Series{{Name: "used", X: tx, Y: used}, {Name: "cache", X: tx, Y: cache}, {Name: "dirty", X: tx, Y: dirty}},
+			Width:  72, Height: 12,
+		}
+		ch.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderCacheContents prints Fig 4c: per-file cache contents after each op.
+func (r *Exp1Result) RenderCacheContents(w io.Writer) {
+	fmt.Fprintf(w, "\n-- Fig 4c: cache contents after each op (GB, %s) --\n", units.FormatBytes(r.Size))
+	for _, st := range []Stack{StackReal, StackCache} {
+		sl := r.Snaps[st]
+		if sl == nil {
+			continue
+		}
+		files := sl.Files()
+		t := &textplot.Table{Header: append([]string{st.label() + " op"}, files...)}
+		for _, sn := range sl.Snaps {
+			vals := make([]float64, len(files))
+			for i, f := range files {
+				vals[i] = float64(sn.ByFile[f]) / 1e9
+			}
+			t.AddF(sn.Label, "%.1f", vals...)
+		}
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+}
+
+func (s Stack) label() string { return string(s) }
+
+// Render prints a Fig 5/7 table plus ASCII chart.
+func (r *ConcurrentResult) Render(w io.Writer) {
+	name, fig := "Exp 2 (local disk)", "Fig 5"
+	if r.Remote {
+		name, fig = "Exp 3 (NFS)", "Fig 7"
+	}
+	fmt.Fprintf(w, "== %s — %s: concurrent 3 GB applications ==\n", name, fig)
+	t := &textplot.Table{Header: []string{"N",
+		"read real", "read wrench", "read cache",
+		"write real", "write wrench", "write cache",
+		"real read min-max", "real write min-max"}}
+	for _, p := range r.Points {
+		t.Add(fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%.0f", p.ReadTime[StackReal]),
+			fmt.Sprintf("%.0f", p.ReadTime[StackCacheless]),
+			fmt.Sprintf("%.0f", p.ReadTime[StackCache]),
+			fmt.Sprintf("%.0f", p.WriteTime[StackReal]),
+			fmt.Sprintf("%.0f", p.WriteTime[StackCacheless]),
+			fmt.Sprintf("%.0f", p.WriteTime[StackCache]),
+			fmt.Sprintf("[%.0f,%.0f]", p.RealReadMin, p.RealReadMax),
+			fmt.Sprintf("[%.0f,%.0f]", p.RealWriteMin, p.RealWriteMax),
+		)
+	}
+	t.Render(w)
+	for _, kind := range []string{"read", "write"} {
+		var xs []float64
+		series := map[Stack][]float64{}
+		for _, p := range r.Points {
+			xs = append(xs, float64(p.N))
+			for _, st := range []Stack{StackReal, StackCacheless, StackCache} {
+				v := p.ReadTime[st]
+				if kind == "write" {
+					v = p.WriteTime[st]
+				}
+				series[st] = append(series[st], v)
+			}
+		}
+		ch := &textplot.Chart{
+			Title: fmt.Sprintf("%s: %s time (s) vs concurrent applications", fig, kind),
+			Width: 72, Height: 12,
+			Series: []textplot.Series{
+				{Name: "real", X: xs, Y: series[StackReal]},
+				{Name: "wrench", X: xs, Y: series[StackCacheless]},
+				{Name: "wrench-cache", X: xs, Y: series[StackCache]},
+			},
+		}
+		fmt.Fprintln(w)
+		ch.Render(w)
+	}
+}
+
+// WriteCSV emits the Fig 5/7 series.
+func (r *ConcurrentResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "n,read_real,read_wrench,read_cache,write_real,write_wrench,write_cache,read_real_min,read_real_max,write_real_min,write_real_max"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			p.N, p.ReadTime[StackReal], p.ReadTime[StackCacheless], p.ReadTime[StackCache],
+			p.WriteTime[StackReal], p.WriteTime[StackCacheless], p.WriteTime[StackCache],
+			p.RealReadMin, p.RealReadMax, p.RealWriteMin, p.RealWriteMax); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render prints the Fig 6 error table.
+func (r *Exp4Result) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Exp 4 (Nighres workflow): operation durations (s) ==")
+	dt := &textplot.Table{Header: append([]string{"stack"}, r.Ops...)}
+	for _, st := range []Stack{StackReal, StackCacheless, StackCache} {
+		dt.AddF(string(st), "%.1f", r.Durations[st]...)
+	}
+	dt.Render(w)
+	fmt.Fprintln(w, "\n-- Fig 6: absolute relative error vs real proxy (%) --")
+	et := &textplot.Table{Header: append([]string{"stack"}, append(r.Ops, "mean")...)}
+	for _, st := range []Stack{StackCacheless, StackCache} {
+		vals := make([]float64, 0, len(r.Ops)+1)
+		for _, row := range r.Errors[st] {
+			vals = append(vals, row.ErrPct)
+		}
+		vals = append(vals, r.MeanErr[st])
+		et.AddF(string(st), "%.0f", vals...)
+	}
+	et.Render(w)
+	fmt.Fprintf(w, "paper: wrench=%v%% wrench-cache=%v%%\n", Paper().Exp4WrenchErr, Paper().Exp4CacheErr)
+}
+
+// Render prints the Fig 8 table with regression fits.
+func (r *SimTimeResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Fig 8: wall-clock simulation time vs concurrent applications ==")
+	t := &textplot.Table{Header: []string{"configuration", "fit", "points"}}
+	for _, s := range r.Series {
+		t.Add(s.Label, s.Fit.String(), fmt.Sprintf("%d", len(s.N)))
+	}
+	t.Render(w)
+	p := Paper()
+	fmt.Fprintf(w, "paper slopes (authors' machine): wrench-local=%.2f cache-local=%.2f cache-nfs=%.2f s/app\n",
+		p.Fig8WrenchLocalSlope, p.Fig8CacheLocalSlope, p.Fig8CacheNFSSlope)
+}
+
+// WriteCSV emits the Fig 8 series.
+func (r *SimTimeResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "configuration,n,seconds"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for i := range s.N {
+			if _, err := fmt.Fprintf(w, "%s,%d,%.4f\n", s.Label, s.N[i], s.Seconds[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SaveCSV writes content produced by fn into dir/name.
+func SaveCSV(dir, name string, fn func(io.Writer) error) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fn(f)
+}

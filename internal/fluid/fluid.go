@@ -1,0 +1,313 @@
+// Package fluid implements a SimGrid-style fluid ("macroscopic") resource
+// model on top of the des kernel: concurrent activities progress at rates
+// determined by max-min fair sharing over one or more capacity-constrained
+// resources (disk channels, memory channels, network links).
+//
+// Whenever an activity starts or completes, all rates are recomputed with a
+// progressive-filling algorithm and the next completion event is
+// rescheduled. This is the bandwidth-sharing model the paper relies on:
+// "These models account for bandwidth sharing between concurrent memory or
+// disk accesses" (§III.A).
+package fluid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+)
+
+// Resource is a capacity-constrained channel (e.g. a disk's read channel at
+// 465 MB/s). Capacity units are arbitrary per second (bytes/s, flops/s).
+type Resource struct {
+	name     string
+	capacity float64
+	id       int
+
+	// scratch state used during recompute
+	capLeft float64
+	load    float64
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity in units/second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// Use declares that an activity consumes Coef units of Res per unit of
+// activity progress. Coef is normally 1 (a byte of transfer consumes a byte
+// of channel capacity).
+type Use struct {
+	Res  *Resource
+	Coef float64
+}
+
+// Activity is a unit of fluid work (a transfer, a flush, a compute burst).
+type Activity struct {
+	sys       *System
+	uses      []Use
+	work0     float64
+	remaining float64
+	rate      float64
+	bound     float64 // per-activity rate cap (≤0 means unbounded)
+	done      *des.Future[struct{}]
+	start     float64
+	frozen    bool // scratch flag during recompute
+}
+
+// Await parks p until the activity completes.
+func (a *Activity) Await(p *des.Proc) { a.done.Get(p) }
+
+// Done returns the completion future.
+func (a *Activity) Done() *des.Future[struct{}] { return a.done }
+
+// Rate returns the currently assigned progress rate (units/s).
+func (a *Activity) Rate() float64 { return a.rate }
+
+// Remaining returns the remaining work at the last recompute instant.
+func (a *Activity) Remaining() float64 { return a.remaining }
+
+// StartTime returns the virtual time the activity was started.
+func (a *Activity) StartTime() float64 { return a.start }
+
+// System owns the resources and the set of in-flight activities.
+type System struct {
+	k          *des.Kernel
+	resources  []*Resource
+	acts       []*Activity
+	lastUpdate float64
+	next       *des.Timer
+}
+
+// NewSystem returns an empty fluid system bound to kernel k.
+func NewSystem(k *des.Kernel) *System {
+	return &System{k: k}
+}
+
+// Kernel returns the DES kernel the system schedules on.
+func (s *System) Kernel() *des.Kernel { return s.k }
+
+// NewResource registers a resource with the given capacity (> 0).
+func (s *System) NewResource(name string, capacity float64) *Resource {
+	if capacity <= 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fluid: resource %q: invalid capacity %v", name, capacity))
+	}
+	r := &Resource{name: name, capacity: capacity, id: len(s.resources)}
+	s.resources = append(s.resources, r)
+	return r
+}
+
+// Start launches an activity of `work` units across the given resource uses
+// and returns it immediately; callers typically Await it. Zero or negative
+// work completes at the current time (after already-queued same-time
+// events). An activity must use at least one resource unless bound > 0.
+func (s *System) Start(work float64, bound float64, uses ...Use) *Activity {
+	a := &Activity{
+		sys:       s,
+		uses:      uses,
+		work0:     work,
+		remaining: work,
+		bound:     bound,
+		done:      des.NewFuture[struct{}](s.k),
+		start:     s.k.Now(),
+	}
+	if len(uses) == 0 && bound <= 0 {
+		panic("fluid: activity with no resources and no rate bound")
+	}
+	for _, u := range uses {
+		if u.Res == nil || u.Coef <= 0 {
+			panic("fluid: invalid resource use")
+		}
+	}
+	if work <= 0 {
+		s.k.At(s.k.Now(), func() { a.done.Set(struct{}{}) })
+		return a
+	}
+	s.advance()
+	s.acts = append(s.acts, a)
+	s.recompute()
+	return a
+}
+
+// Transfer is the common single-resource convenience: move `bytes` through r.
+func (s *System) Transfer(bytes float64, r *Resource) *Activity {
+	return s.Start(bytes, 0, Use{Res: r, Coef: 1})
+}
+
+// advance applies elapsed time to every in-flight activity's remaining work.
+func (s *System) advance() {
+	now := s.k.Now()
+	dt := now - s.lastUpdate
+	if dt > 0 {
+		for _, a := range s.acts {
+			a.remaining -= a.rate * dt
+			if a.remaining < 0 {
+				a.remaining = 0
+			}
+		}
+	}
+	s.lastUpdate = now
+}
+
+// completionEps returns the absolute remaining-work threshold under which an
+// activity is considered finished (guards float rounding).
+func (a *Activity) completionEps() float64 {
+	return math.Max(1e-6, 1e-9*a.work0)
+}
+
+// recompute runs progressive filling, completes finished activities, and
+// schedules the next completion event.
+func (s *System) recompute() {
+	// Complete anything at (or under) the epsilon.
+	s.completeFinished()
+
+	// Progressive filling over the live set.
+	for _, r := range s.resources {
+		r.capLeft = r.capacity
+	}
+	unfrozen := 0
+	for _, a := range s.acts {
+		a.frozen = false
+		a.rate = 0
+		unfrozen++
+	}
+	for unfrozen > 0 {
+		// Recompute per-resource loads from the unfrozen set each round:
+		// incremental subtraction accumulates float residue that can leave a
+		// resource "loaded" with no live users, which would stall the loop.
+		for _, r := range s.resources {
+			r.load = 0
+		}
+		for _, a := range s.acts {
+			if a.frozen {
+				continue
+			}
+			for _, u := range a.uses {
+				u.Res.load += u.Coef
+			}
+		}
+		// Candidate share: min over resources of capLeft/load, and over
+		// activity bounds.
+		share := math.Inf(1)
+		var bres *Resource
+		for _, r := range s.resources {
+			if r.load <= 0 {
+				continue
+			}
+			c := r.capLeft / r.load
+			if c < share {
+				share = c
+				bres = r
+			}
+		}
+		bounded := false
+		for _, a := range s.acts {
+			if !a.frozen && a.bound > 0 && a.bound < share {
+				share = a.bound
+				bounded = true
+			}
+		}
+		if math.IsInf(share, 1) {
+			panic("fluid: unconstrained activities in recompute")
+		}
+		// Freeze the limiting set at `share`.
+		progress := false
+		for _, a := range s.acts {
+			if a.frozen {
+				continue
+			}
+			limiting := false
+			if bounded {
+				limiting = a.bound > 0 && a.bound <= share
+			} else {
+				for _, u := range a.uses {
+					if u.Res == bres {
+						limiting = true
+						break
+					}
+				}
+			}
+			if !limiting {
+				continue
+			}
+			a.frozen = true
+			a.rate = share
+			unfrozen--
+			progress = true
+			for _, u := range a.uses {
+				u.Res.capLeft -= u.Coef * share
+				if u.Res.capLeft < 0 {
+					u.Res.capLeft = 0
+				}
+			}
+		}
+		if !progress {
+			panic("fluid: progressive filling made no progress")
+		}
+	}
+	s.scheduleNext()
+}
+
+// completeFinished resolves all activities whose remaining work is within
+// epsilon, preserving start order.
+func (s *System) completeFinished() {
+	live := s.acts[:0]
+	for _, a := range s.acts {
+		if a.remaining <= a.completionEps() {
+			a.remaining = 0
+			a.rate = 0
+			a.done.Set(struct{}{})
+		} else {
+			live = append(live, a)
+		}
+	}
+	// Zero the tail so finished activities can be collected.
+	for i := len(live); i < len(s.acts); i++ {
+		s.acts[i] = nil
+	}
+	s.acts = live
+}
+
+// scheduleNext (re)schedules the single pending completion event at the
+// earliest activity finish time.
+func (s *System) scheduleNext() {
+	if s.next != nil {
+		s.next.Cancel()
+		s.next = nil
+	}
+	soonest := math.Inf(1)
+	for _, a := range s.acts {
+		if a.rate <= 0 {
+			continue
+		}
+		t := a.remaining / a.rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	if math.IsInf(soonest, 1) {
+		return
+	}
+	s.next = s.k.After(soonest, func() {
+		s.next = nil
+		s.advance()
+		s.recompute()
+	})
+}
+
+// InFlight returns the number of live activities (for tests/diagnostics).
+func (s *System) InFlight() int { return len(s.acts) }
+
+// Utilization returns the fraction of r's capacity currently allocated.
+func (s *System) Utilization(r *Resource) float64 {
+	used := 0.0
+	for _, a := range s.acts {
+		for _, u := range a.uses {
+			if u.Res == r {
+				used += u.Coef * a.rate
+			}
+		}
+	}
+	return used / r.capacity
+}

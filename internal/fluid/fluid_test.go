@@ -1,0 +1,341 @@
+package fluid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSingleTransferTiming(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100) // 100 B/s
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		s.Transfer(1000, disk).Await(p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 10, 1e-9) {
+		t.Fatalf("end = %v, want 10", end)
+	}
+}
+
+func TestEqualSharing(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	var ends []float64
+	for i := 0; i < 4; i++ {
+		k.Spawn("app", func(p *des.Proc) {
+			s.Transfer(1000, disk).Await(p)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 concurrent equal transfers share 100 B/s: each runs at 25 B/s → 40 s.
+	for _, e := range ends {
+		if !almost(e, 40, 1e-6) {
+			t.Fatalf("ends = %v, want all 40", ends)
+		}
+	}
+}
+
+func TestStaggeredSharing(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	var endA, endB float64
+	k.Spawn("a", func(p *des.Proc) {
+		s.Transfer(1000, disk).Await(p)
+		endA = p.Now()
+	})
+	k.Spawn("b", func(p *des.Proc) {
+		p.Sleep(5)
+		s.Transfer(250, disk).Await(p)
+		endB = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a alone [0,5): 500 done. Then shared at 50 B/s each; b finishes its 250
+	// at t=10; a has 250 left, alone again at 100 B/s → t=12.5.
+	if !almost(endB, 10, 1e-6) {
+		t.Fatalf("endB = %v, want 10", endB)
+	}
+	if !almost(endA, 12.5, 1e-6) {
+		t.Fatalf("endA = %v, want 12.5", endA)
+	}
+}
+
+func TestMultiResourceBottleneck(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	link := s.NewResource("link", 1000)
+	disk := s.NewResource("disk", 100)
+	var end float64
+	k.Spawn("a", func(p *des.Proc) {
+		// NFS-style: constrained by both link and disk; disk is bottleneck.
+		s.Start(500, 0, Use{link, 1}, Use{disk, 1}).Await(p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 5, 1e-6) {
+		t.Fatalf("end = %v, want 5", end)
+	}
+}
+
+func TestMaxMinCrossTraffic(t *testing.T) {
+	// Classic max-min: flow X uses R1 only, flow Y uses R1+R2, flow Z uses R2
+	// only. R1 cap 100, R2 cap 30. Y is limited by R2: share 15 with Z.
+	// X then gets the R1 leftover: 85.
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r1 := s.NewResource("r1", 100)
+	r2 := s.NewResource("r2", 30)
+	x := s.Start(1e9, 0, Use{r1, 1})
+	y := s.Start(1e9, 0, Use{r1, 1}, Use{r2, 1})
+	z := s.Start(1e9, 0, Use{r2, 1})
+	if !almost(y.Rate(), 15, 1e-9) || !almost(z.Rate(), 15, 1e-9) {
+		t.Fatalf("y=%v z=%v, want 15/15", y.Rate(), z.Rate())
+	}
+	if !almost(x.Rate(), 85, 1e-9) {
+		t.Fatalf("x = %v, want 85", x.Rate())
+	}
+}
+
+func TestCoefficientWeighting(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r := s.NewResource("r", 100)
+	// a consumes 3 units per progress unit, b consumes 1.
+	a := s.Start(1e9, 0, Use{r, 3})
+	b := s.Start(1e9, 0, Use{r, 1})
+	// Progressive filling: share = 100/(3+1) = 25 for both.
+	if !almost(a.Rate(), 25, 1e-9) || !almost(b.Rate(), 25, 1e-9) {
+		t.Fatalf("a=%v b=%v, want 25/25", a.Rate(), b.Rate())
+	}
+	if !almost(s.Utilization(r), 1, 1e-9) {
+		t.Fatalf("utilization = %v, want 1", s.Utilization(r))
+	}
+}
+
+func TestActivityBound(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r := s.NewResource("r", 100)
+	a := s.Start(1e9, 10, Use{r, 1}) // capped at 10
+	b := s.Start(1e9, 0, Use{r, 1})
+	if !almost(a.Rate(), 10, 1e-9) {
+		t.Fatalf("a = %v, want 10", a.Rate())
+	}
+	if !almost(b.Rate(), 90, 1e-9) {
+		t.Fatalf("b = %v, want 90 (leftover)", b.Rate())
+	}
+}
+
+func TestBoundOnlyActivity(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	var end float64
+	k.Spawn("a", func(p *des.Proc) {
+		s.Start(100, 20).Await(p) // pure rate-limited activity, no resource
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 5, 1e-6) {
+		t.Fatalf("end = %v, want 5", end)
+	}
+}
+
+func TestZeroWorkCompletesImmediately(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r := s.NewResource("r", 100)
+	var end float64
+	k.Spawn("a", func(p *des.Proc) {
+		p.Sleep(2)
+		s.Transfer(0, r).Await(p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 2 {
+		t.Fatalf("end = %v, want 2", end)
+	}
+}
+
+func TestSequentialTransfersAccumulate(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r := s.NewResource("r", 50)
+	var end float64
+	k.Spawn("a", func(p *des.Proc) {
+		for i := 0; i < 10; i++ {
+			s.Transfer(100, r).Await(p)
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 20, 1e-6) {
+		t.Fatalf("end = %v, want 20", end)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("in-flight = %d, want 0", s.InFlight())
+	}
+}
+
+func TestReadWriteChannelsIndependent(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	rd := s.NewResource("disk.read", 100)
+	wr := s.NewResource("disk.write", 100)
+	var endR, endW float64
+	k.Spawn("r", func(p *des.Proc) {
+		s.Transfer(1000, rd).Await(p)
+		endR = p.Now()
+	})
+	k.Spawn("w", func(p *des.Proc) {
+		s.Transfer(1000, wr).Await(p)
+		endW = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(endR, 10, 1e-6) || !almost(endW, 10, 1e-6) {
+		t.Fatalf("endR=%v endW=%v, want 10/10 (no contention)", endR, endW)
+	}
+}
+
+// Property: after any recompute, no resource's capacity is exceeded, and if
+// any activity is live, at least one resource (or bound) is saturated.
+func TestPropertyCapacityAndSaturation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := des.NewKernel()
+		s := NewSystem(k)
+		nres := 1 + rng.Intn(4)
+		for i := 0; i < nres; i++ {
+			s.NewResource("r", 10+rng.Float64()*1000)
+		}
+		nact := 1 + rng.Intn(8)
+		for i := 0; i < nact; i++ {
+			var uses []Use
+			for j, r := range s.resources {
+				if rng.Intn(2) == 0 || (j == len(s.resources)-1 && len(uses) == 0) {
+					uses = append(uses, Use{r, 0.5 + rng.Float64()*2})
+				}
+			}
+			s.Start(1e12, 0, uses...)
+		}
+		// Capacity constraint.
+		for _, r := range s.resources {
+			used := 0.0
+			for _, a := range s.acts {
+				for _, u := range a.uses {
+					if u.Res == r {
+						used += u.Coef * a.rate
+					}
+				}
+			}
+			if used > r.capacity*(1+1e-9) {
+				return false
+			}
+		}
+		// Work conservation: at least one resource saturated.
+		saturated := false
+		for _, r := range s.resources {
+			if s.Utilization(r) > 1-1e-9 {
+				saturated = true
+			}
+		}
+		// All rates strictly positive.
+		for _, a := range s.acts {
+			if a.rate <= 0 {
+				return false
+			}
+		}
+		return saturated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total transferred bytes equal requested bytes for random
+// concurrent workloads (no work lost or duplicated by recomputes).
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := des.NewKernel()
+		s := NewSystem(k)
+		r := s.NewResource("r", 100)
+		n := 1 + rng.Intn(10)
+		totalWork := 0.0
+		maxEnd := 0.0
+		okAll := true
+		for i := 0; i < n; i++ {
+			delay := rng.Float64() * 10
+			work := 1 + rng.Float64()*1000
+			totalWork += work
+			k.Spawn("a", func(p *des.Proc) {
+				p.Sleep(delay)
+				a := s.Transfer(work, r)
+				a.Await(p)
+				if p.Now() > maxEnd {
+					maxEnd = p.Now()
+				}
+				// An activity can never finish faster than work/capacity.
+				if p.Now()-a.StartTime() < work/100-1e-6 {
+					okAll = false
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		// The busy span is at least totalWork/capacity.
+		return okAll && maxEnd >= totalWork/100-1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidResourcePanics(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive capacity")
+		}
+	}()
+	s.NewResource("bad", 0)
+}
+
+func TestNoResourceNoBoundPanics(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unconstrained activity")
+		}
+	}()
+	s.Start(100, 0)
+}

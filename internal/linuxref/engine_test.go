@@ -1,0 +1,132 @@
+package linuxref_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/linuxref"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestConcurrentAppsOnLinuxref runs the reference model under the full DES
+// engine with concurrent applications — the configuration the Exp 2 "real"
+// proxy uses — and checks writeback asynchrony end to end.
+func TestConcurrentAppsOnLinuxref(t *testing.T) {
+	sim := engine.NewSimulation()
+	ram := 8 * units.GiB
+	cfg := linuxref.DefaultConfig(ram)
+	cfg.ReadChunk = 10 * units.MB
+	cfg.FolioSize = 1 * units.MiB
+	model, err := linuxref.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sim.AddHostWithModel(platform.HostSpec{
+		Name: "h", Cores: 8, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.RealMemorySpec("h.mem"),
+	}, engine.ModeWriteback, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.RealLocalDiskSpec("h.disk"), "scratch", 450*units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	size := int64(200 * units.MB)
+	for i := 0; i < n; i++ {
+		files := workload.SyntheticFiles(i)
+		if _, err := disk.CreateSized(files[0], size); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.NS.Place(files[0], disk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		files := workload.SyntheticFiles(i)
+		sim.SpawnApp(host, i, fmt.Sprintf("app%d", i), func(a *engine.App) error {
+			return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: disk}, workload.SyntheticSpec{
+				Size: size, CPU: 2, Files: files,
+			})
+		})
+	}
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := model.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Warm reads (Read 2/3) must be much faster than cold ones (Read 1):
+	// the whole working set (4 apps × 4 × 200 MB = 3.2 GB) fits in 8 GiB.
+	cold := sim.Log.ByName("Read 1")
+	warm := sim.Log.ByName("Read 2")
+	var coldSum, warmSum float64
+	for i := range cold {
+		coldSum += cold[i].Duration()
+		warmSum += warm[i].Duration()
+	}
+	if warmSum*3 > coldSum {
+		t.Fatalf("warm reads %.2fs not ≪ cold reads %.2fs", warmSum, coldSum)
+	}
+	// Small writes absorb into the cache at shared memory speed: 12 ops ×
+	// 200 MB at 2764/4 MB/s sum to ≈3.5 s. Disk-bound writes would sum to
+	// ≈23 s (420/4 MB/s effective).
+	writeTotal := sim.Log.Duration("write", -1)
+	if writeTotal > 5 {
+		t.Fatalf("writes took %.2fs, want cache absorption (≈3.5s)", writeTotal)
+	}
+	// The background flusher eventually persists everything after the apps
+	// finish... it runs only while the sim runs; dirty data may remain, but
+	// never beyond the dirty ceiling.
+	st := model.Snapshot()
+	if st.Dirty > st.DirtyThreshold {
+		t.Fatalf("dirty %d exceeds threshold %d", st.Dirty, st.DirtyThreshold)
+	}
+}
+
+// TestLinuxrefWriterThrottledByFlusher checks balance_dirty_pages under the
+// engine: a writer exceeding the dirty limit must block on writeback
+// progress rather than overshooting.
+func TestLinuxrefWriterThrottledByFlusher(t *testing.T) {
+	sim := engine.NewSimulation()
+	ram := 1 * units.GiB
+	cfg := linuxref.DefaultConfig(ram)
+	cfg.ReadChunk = 10 * units.MB
+	cfg.FolioSize = 1 * units.MiB
+	model, err := linuxref.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sim.AddHostWithModel(platform.HostSpec{
+		Name: "h", Cores: 2, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.RealMemorySpec("h.mem"),
+	}, engine.ModeWriteback, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.RealLocalDiskSpec("h.disk"), "scratch", 450*units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write 800 MB with a ~215 MB dirty allowance (0.2 × 1 GiB).
+	sim.SpawnApp(host, 0, "writer", func(a *engine.App) error {
+		return a.WriteFile("big", 800*units.MB, disk, "w")
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := sim.Log.ByName("w")[0].Duration()
+	// Disk-bound lower bound: ≈(800 − 215) MB at 420 MB/s ≈ 1.4 s; memory
+	// speed alone would be 0.3 s. Throttling must dominate.
+	if d < 1.0 {
+		t.Fatalf("write = %.2fs, throttling absent", d)
+	}
+	st := model.Snapshot()
+	if st.Dirty > st.DirtyThreshold+int64(cfg.ReadChunk) {
+		t.Fatalf("dirty %d far above threshold %d", st.Dirty, st.DirtyThreshold)
+	}
+}

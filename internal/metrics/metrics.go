@@ -1,0 +1,129 @@
+// Package metrics provides the error and regression statistics the paper's
+// evaluation reports: absolute relative simulation error (Figs 4a, 6),
+// summary statistics (Figs 5, 7 min–max intervals), and least-squares linear
+// regression (Fig 8 slopes).
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// AbsRelErr returns |sim − real| / real as a percentage. A zero real value
+// yields NaN (callers filter those points, as the paper implicitly does).
+func AbsRelErr(sim, real float64) float64 {
+	if real == 0 {
+		return math.NaN()
+	}
+	return math.Abs(sim-real) / math.Abs(real) * 100
+}
+
+// Mean returns the arithmetic mean of xs, ignoring NaNs. Empty (or all-NaN)
+// input returns NaN.
+func Mean(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MinMax returns the minimum and maximum of xs, ignoring NaNs.
+func MinMax(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// LinReg is a least-squares fit y = Slope·x + Intercept.
+type LinReg struct {
+	Slope, Intercept float64
+	R2               float64
+	N                int
+}
+
+// Fit computes the least-squares regression of ys on xs. It panics if the
+// lengths differ and returns a zero fit for fewer than two points.
+func Fit(xs, ys []float64) LinReg {
+	if len(xs) != len(ys) {
+		panic("metrics: length mismatch in Fit")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinReg{N: len(xs)}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return LinReg{N: len(xs)}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R² from the correlation coefficient.
+	vy := n*syy - sy*sy
+	r2 := 0.0
+	if vy > 0 {
+		r := (n*sxy - sx*sy) / math.Sqrt(den*vy)
+		r2 = r * r
+	}
+	return LinReg{Slope: slope, Intercept: intercept, R2: r2, N: len(xs)}
+}
+
+func (r LinReg) String() string {
+	return fmt.Sprintf("y=%.4fx%+.4f (R²=%.3f, n=%d)", r.Slope, r.Intercept, r.R2, r.N)
+}
+
+// ErrRow is a labeled simulation-vs-reference comparison (one bar in
+// Fig 4a/Fig 6).
+type ErrRow struct {
+	Label     string
+	Real, Sim float64
+	ErrPct    float64
+}
+
+// Errors builds rows comparing sims to reals with shared labels.
+func Errors(labels []string, reals, sims []float64) []ErrRow {
+	if len(labels) != len(reals) || len(labels) != len(sims) {
+		panic("metrics: length mismatch in Errors")
+	}
+	out := make([]ErrRow, len(labels))
+	for i := range labels {
+		out[i] = ErrRow{
+			Label:  labels[i],
+			Real:   reals[i],
+			Sim:    sims[i],
+			ErrPct: AbsRelErr(sims[i], reals[i]),
+		}
+	}
+	return out
+}
+
+// MeanErr averages the ErrPct column, ignoring NaNs.
+func MeanErr(rows []ErrRow) float64 {
+	xs := make([]float64, len(rows))
+	for i, r := range rows {
+		xs[i] = r.ErrPct
+	}
+	return Mean(xs)
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbsRelErr(t *testing.T) {
+	if got := AbsRelErr(150, 100); got != 50 {
+		t.Fatalf("got %v", got)
+	}
+	if got := AbsRelErr(50, 100); got != 50 {
+		t.Fatalf("got %v", got)
+	}
+	if got := AbsRelErr(100, 100); got != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if !math.IsNaN(AbsRelErr(1, 0)) {
+		t.Fatal("zero reference must yield NaN")
+	}
+	if got := AbsRelErr(-50, -100); got != 50 {
+		t.Fatalf("negative reference: got %v", got)
+	}
+}
+
+func TestMeanIgnoresNaN(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Mean([]float64{1, math.NaN(), 3}); got != 2 {
+		t.Fatalf("got %v", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Mean([]float64{math.NaN()})) {
+		t.Fatal("empty/all-NaN mean must be NaN")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, math.NaN(), -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 2x + 1
+	f := Fit(xs, ys)
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R² = %v, want 1", f.R2)
+	}
+}
+
+func TestFitDegenerate(t *testing.T) {
+	if f := Fit([]float64{1}, []float64{2}); f.Slope != 0 || f.N != 1 {
+		t.Fatalf("single point fit = %+v", f)
+	}
+	if f := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); f.Slope != 0 {
+		t.Fatalf("vertical-line fit = %+v", f)
+	}
+}
+
+func TestFitLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Fit([]float64{1, 2}, []float64{1})
+}
+
+// Property: fitting y = a·x + b recovers a and b for random a, b.
+func TestPropertyFitRecovers(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e6 {
+			return true
+		}
+		if math.IsNaN(b) || math.IsInf(b, 0) || math.Abs(b) > 1e6 {
+			return true
+		}
+		var xs, ys []float64
+		for x := 0.0; x < 10; x++ {
+			xs = append(xs, x)
+			ys = append(ys, a*x+b)
+		}
+		fit := Fit(xs, ys)
+		tol := 1e-6 * (1 + math.Abs(a) + math.Abs(b))
+		return math.Abs(fit.Slope-a) < tol && math.Abs(fit.Intercept-b) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsAndMeanErr(t *testing.T) {
+	rows := Errors([]string{"a", "b"}, []float64{100, 200}, []float64{150, 100})
+	if rows[0].ErrPct != 50 || rows[1].ErrPct != 50 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if MeanErr(rows) != 50 {
+		t.Fatalf("mean = %v", MeanErr(rows))
+	}
+}
+
+func TestErrorsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Errors([]string{"a"}, []float64{1, 2}, []float64{1})
+}
+
+func TestLinRegString(t *testing.T) {
+	s := LinReg{Slope: 0.05, Intercept: -0.19, R2: 0.99, N: 32}.String()
+	if s == "" {
+		t.Fatal("empty string")
+	}
+}

@@ -1,0 +1,222 @@
+package nfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/platform"
+)
+
+type rig struct {
+	k    *des.Kernel
+	sys  *fluid.System
+	r    *Remote
+	mgr  *core.Manager
+	link *platform.Link
+}
+
+// newRig: link 50 B/s, server disk 10 B/s, server mem 100 B/s, server RAM
+// 1000 B, chunk 10.
+func newRig(t *testing.T, cached bool, writeback bool) *rig {
+	t.Helper()
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	disk, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "disk", ReadBW: 10, WriteBW: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "mem", ReadBW: 100, WriteBW: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := platform.NewLink(sys, platform.LinkSpec{Name: "net", BW: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mgr *core.Manager
+	if cached {
+		mgr, err = core.NewManager(core.DefaultConfig(1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := New(sys, link, disk, mem, mgr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ServerWriteback = writeback
+	return &rig{k: k, sys: sys, r: r, mgr: mgr, link: link}
+}
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRawTransfersBottleneck(t *testing.T) {
+	rg := newRig(t, false, false)
+	var tr, tw float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		start := p.Now()
+		rg.r.RawRead(p, 100) // min(link 50, disk 10) = 10 B/s
+		tr = p.Now() - start
+		start = p.Now()
+		rg.r.RawWrite(p, 100)
+		tw = p.Now() - start
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(tr, 10, 1e-6) || !near(tw, 10, 1e-6) {
+		t.Fatalf("raw read=%v write=%v, want 10/10", tr, tw)
+	}
+}
+
+func TestUncachedServerReadFallsBackToRaw(t *testing.T) {
+	rg := newRig(t, false, false)
+	var elapsed float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		rg.r.Read(p, "f", 100, 100)
+		elapsed = p.Now()
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(elapsed, 10, 1e-6) {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestServerReadCachePopulatesAndHits(t *testing.T) {
+	rg := newRig(t, true, false)
+	var cold, warm float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		start := p.Now()
+		rg.r.Read(p, "f", 100, 100)
+		cold = p.Now() - start
+		start = p.Now()
+		rg.r.Read(p, "f", 100, 100)
+		warm = p.Now() - start
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(cold, 10, 1e-6) {
+		t.Fatalf("cold = %v, want 10 (disk-bound)", cold)
+	}
+	// Warm: min(link 50, server mem 100) = 50 B/s → 2 s.
+	if !near(warm, 2, 1e-6) {
+		t.Fatalf("warm = %v, want 2 (server cache through link)", warm)
+	}
+	if rg.mgr.Cached("f") != 100 {
+		t.Fatalf("server cached = %d", rg.mgr.Cached("f"))
+	}
+}
+
+func TestWritethroughWriteCachesOnServer(t *testing.T) {
+	rg := newRig(t, true, false)
+	var tw float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		start := p.Now()
+		rg.r.Write(p, "f", 100)
+		tw = p.Now() - start
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(tw, 10, 1e-6) {
+		t.Fatalf("writethrough = %v, want 10 (disk speed)", tw)
+	}
+	if rg.mgr.Cached("f") != 100 || rg.mgr.Dirty() != 0 {
+		t.Fatalf("cached=%d dirty=%d", rg.mgr.Cached("f"), rg.mgr.Dirty())
+	}
+}
+
+func TestWritebackServerAbsorbsWrites(t *testing.T) {
+	rg := newRig(t, true, true)
+	var tw float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		start := p.Now()
+		rg.r.Write(p, "f", 100) // under dirty threshold (200)
+		tw = p.Now() - start
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// min(link up 50, server mem write 100) = 50 B/s → 2 s.
+	if !near(tw, 2, 1e-6) {
+		t.Fatalf("writeback server write = %v, want 2", tw)
+	}
+	if rg.mgr.Dirty() != 100 {
+		t.Fatalf("server dirty = %d", rg.mgr.Dirty())
+	}
+}
+
+func TestServerCacheEvictionWhenFull(t *testing.T) {
+	rg := newRig(t, true, false)
+	rg.k.Spawn("p", func(p *des.Proc) {
+		// 1200 B through a 1000 B server cache: must evict, never overflow.
+		for i := 0; i < 12; i++ {
+			rg.r.Write(p, "f", 100)
+		}
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rg.mgr.CacheBytes() > 1000 {
+		t.Fatalf("server cache overflow: %d", rg.mgr.CacheBytes())
+	}
+	if err := rg.mgr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartiallyCachedServerRead(t *testing.T) {
+	rg := newRig(t, true, false)
+	var elapsed float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		rg.r.Read(p, "f", 100, 40) // cache 40 of the file
+		rg.mgr.Evict(0, "")        // no-op, keep state
+		start := p.Now()
+		rg.r.Read(p, "f", 100, 100) // 60 from disk, 40 from server memory
+		elapsed = p.Now() - start
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 60 B at 10 B/s + 40 B at 50 B/s = 6 + 0.8 = 6.8 s.
+	if !near(elapsed, 6.8, 1e-6) {
+		t.Fatalf("elapsed = %v, want 6.8", elapsed)
+	}
+}
+
+func TestZeroByteOpsFree(t *testing.T) {
+	rg := newRig(t, true, false)
+	var elapsed float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		rg.r.Read(p, "f", 100, 0)
+		rg.r.Write(p, "f", 0)
+		elapsed = p.Now()
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestBackgroundTickFlushesWritebackServer(t *testing.T) {
+	rg := newRig(t, true, true)
+	rg.k.Spawn("p", func(p *des.Proc) {
+		rg.r.Write(p, "f", 100)
+		p.Sleep(31) // expire
+		rg.r.BackgroundTick(p)
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rg.mgr.Dirty() != 0 {
+		t.Fatalf("server dirty = %d after tick", rg.mgr.Dirty())
+	}
+}

@@ -1,0 +1,180 @@
+package platform
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// Config is a JSON-loadable platform description (hosts with disks, plus
+// network links), the role SimGrid's platform XML plays for WRENCH.
+//
+// Example:
+//
+//	{
+//	  "hosts": [{
+//	    "name": "node0", "cores": 32, "gflops": 1,
+//	    "ram": "250GiB", "memReadMBps": 6860, "memWriteMBps": 2764,
+//	    "disks": [{"name": "ssd0", "readMBps": 510, "writeMBps": 420,
+//	               "capacity": "450GiB", "partition": "scratch"}]
+//	  }],
+//	  "links": [{"name": "net", "mbps": 3000}]
+//	}
+type Config struct {
+	Hosts []HostConfig `json:"hosts"`
+	Links []LinkConfig `json:"links"`
+}
+
+// HostConfig describes one host.
+type HostConfig struct {
+	Name         string       `json:"name"`
+	Cores        int          `json:"cores"`
+	GFlops       float64      `json:"gflops"` // per core
+	RAM          string       `json:"ram"`    // e.g. "250GiB"
+	MemReadMBps  float64      `json:"memReadMBps"`
+	MemWriteMBps float64      `json:"memWriteMBps"`
+	Disks        []DiskConfig `json:"disks"`
+}
+
+// DiskConfig describes one disk and its (single) partition.
+type DiskConfig struct {
+	Name          string  `json:"name"`
+	ReadMBps      float64 `json:"readMBps"`
+	WriteMBps     float64 `json:"writeMBps"`
+	Capacity      string  `json:"capacity"`
+	Partition     string  `json:"partition"`
+	LatencyS      float64 `json:"latencyS"`
+	SharedChannel bool    `json:"sharedChannel"`
+}
+
+// LinkConfig describes one full-duplex network link.
+type LinkConfig struct {
+	Name     string  `json:"name"`
+	MBps     float64 `json:"mbps"`
+	LatencyS float64 `json:"latencyS"`
+}
+
+// LoadConfig parses and validates a JSON platform description.
+func LoadConfig(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("platform: parsing config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Validate checks the description for structural errors.
+func (c *Config) Validate() error {
+	if len(c.Hosts) == 0 {
+		return fmt.Errorf("platform: config has no hosts")
+	}
+	hostNames := map[string]bool{}
+	partNames := map[string]bool{}
+	for _, h := range c.Hosts {
+		if h.Name == "" {
+			return fmt.Errorf("platform: host with empty name")
+		}
+		if hostNames[h.Name] {
+			return fmt.Errorf("platform: duplicate host %q", h.Name)
+		}
+		hostNames[h.Name] = true
+		if h.Cores <= 0 {
+			return fmt.Errorf("platform: host %q: cores must be positive", h.Name)
+		}
+		if h.GFlops <= 0 {
+			return fmt.Errorf("platform: host %q: gflops must be positive", h.Name)
+		}
+		if _, err := units.ParseBytes(h.RAM); err != nil {
+			return fmt.Errorf("platform: host %q: bad ram: %v", h.Name, err)
+		}
+		if h.MemReadMBps <= 0 || h.MemWriteMBps <= 0 {
+			return fmt.Errorf("platform: host %q: memory bandwidths must be positive", h.Name)
+		}
+		for _, d := range h.Disks {
+			if d.Name == "" || d.Partition == "" {
+				return fmt.Errorf("platform: host %q: disk needs name and partition", h.Name)
+			}
+			if partNames[d.Partition] {
+				return fmt.Errorf("platform: duplicate partition %q", d.Partition)
+			}
+			partNames[d.Partition] = true
+			if d.ReadMBps <= 0 || d.WriteMBps <= 0 {
+				return fmt.Errorf("platform: disk %q: bandwidths must be positive", d.Name)
+			}
+			if _, err := units.ParseBytes(d.Capacity); err != nil {
+				return fmt.Errorf("platform: disk %q: bad capacity: %v", d.Name, err)
+			}
+			if d.LatencyS < 0 {
+				return fmt.Errorf("platform: disk %q: negative latency", d.Name)
+			}
+		}
+	}
+	linkNames := map[string]bool{}
+	for _, l := range c.Links {
+		if l.Name == "" {
+			return fmt.Errorf("platform: link with empty name")
+		}
+		if linkNames[l.Name] {
+			return fmt.Errorf("platform: duplicate link %q", l.Name)
+		}
+		linkNames[l.Name] = true
+		if l.MBps <= 0 {
+			return fmt.Errorf("platform: link %q: bandwidth must be positive", l.Name)
+		}
+		if l.LatencyS < 0 {
+			return fmt.Errorf("platform: link %q: negative latency", l.Name)
+		}
+	}
+	return nil
+}
+
+// HostSpec converts one host description into realizable specs.
+func (h HostConfig) HostSpec() (HostSpec, error) {
+	ram, err := units.ParseBytes(h.RAM)
+	if err != nil {
+		return HostSpec{}, err
+	}
+	return HostSpec{
+		Name:      h.Name,
+		Cores:     h.Cores,
+		FlopRate:  h.GFlops * 1e9,
+		MemoryCap: ram,
+		Memory: DeviceSpec{
+			Name:    h.Name + ".mem",
+			ReadBW:  units.MBps(h.MemReadMBps),
+			WriteBW: units.MBps(h.MemWriteMBps),
+		},
+	}, nil
+}
+
+// DeviceSpec converts one disk description into a realizable spec.
+func (d DiskConfig) DeviceSpec() (DeviceSpec, int64, error) {
+	capacity, err := units.ParseBytes(d.Capacity)
+	if err != nil {
+		return DeviceSpec{}, 0, err
+	}
+	mode := SplitChannels
+	if d.SharedChannel {
+		mode = SharedChannel
+	}
+	return DeviceSpec{
+		Name:     d.Name,
+		ReadBW:   units.MBps(d.ReadMBps),
+		WriteBW:  units.MBps(d.WriteMBps),
+		LatencyS: d.LatencyS,
+		Capacity: capacity,
+		Channels: mode,
+	}, capacity, nil
+}
+
+// LinkSpec converts one link description into a realizable spec.
+func (l LinkConfig) LinkSpec() LinkSpec {
+	return LinkSpec{Name: l.Name, BW: units.MBps(l.MBps), LatencyS: l.LatencyS}
+}

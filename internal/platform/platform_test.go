@@ -1,0 +1,210 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/units"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDeviceReadWriteTiming(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, err := NewDevice(sys, DeviceSpec{Name: "d", ReadBW: 100, WriteBW: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tRead, tWrite float64
+	k.Spawn("p", func(p *des.Proc) {
+		start := p.Now()
+		dev.Read(p, 1000)
+		tRead = p.Now() - start
+		start = p.Now()
+		dev.Write(p, 1000)
+		tWrite = p.Now() - start
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(tRead, 10, 1e-9) || !near(tWrite, 20, 1e-9) {
+		t.Fatalf("read=%v write=%v, want 10/20", tRead, tWrite)
+	}
+}
+
+func TestDeviceLatency(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, err := NewDevice(sys, DeviceSpec{Name: "d", ReadBW: 100, WriteBW: 100, LatencyS: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed float64
+	k.Spawn("p", func(p *des.Proc) {
+		dev.Read(p, 100)
+		elapsed = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(elapsed, 1.5, 1e-9) {
+		t.Fatalf("elapsed = %v, want 1.5 (0.5 latency + 1.0 transfer)", elapsed)
+	}
+}
+
+func TestSharedChannelContention(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, err := NewDevice(sys, DeviceSpec{Name: "d", ReadBW: 100, WriteBW: 100, Channels: SharedChannel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tRead float64
+	k.Spawn("r", func(p *des.Proc) {
+		dev.Read(p, 1000)
+		tRead = p.Now()
+	})
+	k.Spawn("w", func(p *des.Proc) { dev.Write(p, 1000) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Shared channel: read and write contend → 20 s, not 10.
+	if !near(tRead, 20, 1e-6) {
+		t.Fatalf("shared-channel read = %v, want 20", tRead)
+	}
+}
+
+func TestZeroByteTransfersFree(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, err := NewDevice(sys, DeviceSpec{Name: "d", ReadBW: 100, WriteBW: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed float64
+	k.Spawn("p", func(p *des.Proc) {
+		dev.Read(p, 0)
+		dev.Write(p, -5)
+		elapsed = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != 0 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+}
+
+func TestInvalidSpecs(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	if _, err := NewDevice(sys, DeviceSpec{Name: "d", ReadBW: 0, WriteBW: 10}); err == nil {
+		t.Fatal("zero read bw accepted")
+	}
+	if _, err := NewLink(sys, LinkSpec{Name: "l", BW: -1}); err == nil {
+		t.Fatal("negative link bw accepted")
+	}
+	if _, err := NewHost(k, sys, HostSpec{Name: "h", Cores: 0, FlopRate: 1, MemoryCap: 1,
+		Memory: DeviceSpec{Name: "m", ReadBW: 1, WriteBW: 1}}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewHost(k, sys, HostSpec{Name: "h", Cores: 1, FlopRate: 0, MemoryCap: 1,
+		Memory: DeviceSpec{Name: "m", ReadBW: 1, WriteBW: 1}}); err == nil {
+		t.Fatal("zero flop rate accepted")
+	}
+	if _, err := NewHost(k, sys, HostSpec{Name: "h", Cores: 1, FlopRate: 1, MemoryCap: 0,
+		Memory: DeviceSpec{Name: "m", ReadBW: 1, WriteBW: 1}}); err == nil {
+		t.Fatal("zero memory accepted")
+	}
+}
+
+func TestHostComputeQueuing(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	h, err := NewHost(k, sys, HostSpec{Name: "h", Cores: 2, FlopRate: 1e9, MemoryCap: 1 << 30,
+		Memory: DeviceSpec{Name: "m", ReadBW: 1e9, WriteBW: 1e9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < 4; i++ {
+		k.Spawn("c", func(p *des.Proc) {
+			h.ComputeSeconds(p, 3)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 × 3 s jobs on 2 cores ⇒ makespan 6 s.
+	if !near(last, 6, 1e-9) {
+		t.Fatalf("makespan = %v, want 6", last)
+	}
+}
+
+func TestLinkDirectionsIndependent(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	l, err := NewLink(sys, LinkSpec{Name: "l", BW: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tUp, tDown float64
+	k.Spawn("u", func(p *des.Proc) {
+		sys.Transfer(1000, l.Up()).Await(p)
+		tUp = p.Now()
+	})
+	k.Spawn("d", func(p *des.Proc) {
+		sys.Transfer(1000, l.Down()).Await(p)
+		tDown = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !near(tUp, 10, 1e-6) || !near(tDown, 10, 1e-6) {
+		t.Fatalf("full-duplex broken: up=%v down=%v", tUp, tDown)
+	}
+}
+
+func TestTableIIIValues(t *testing.T) {
+	b := TableIII()
+	if b.MemReadMBps != 6860 || b.MemWriteMBps != 2764 {
+		t.Fatal("memory bandwidths wrong")
+	}
+	if b.LocalReadMBps != 510 || b.LocalWriteMBps != 420 {
+		t.Fatal("local disk bandwidths wrong")
+	}
+	if b.RemoteReadMBps != 515 || b.RemoteWriteMBps != 375 {
+		t.Fatal("remote disk bandwidths wrong")
+	}
+	if b.SimMemMBps != 4812 || b.SimLocalMBps != 465 || b.SimNFSbps != 445 {
+		t.Fatal("simulator bandwidths wrong")
+	}
+	if b.NetworkMBps != 3000 {
+		t.Fatal("network bandwidth wrong")
+	}
+}
+
+func TestPaperSpecs(t *testing.T) {
+	spec := PaperHostSpec("n", SimMemorySpec("n.mem"))
+	if spec.Cores != 32 || spec.FlopRate != 1e9 || spec.MemoryCap != 250*units.GiB {
+		t.Fatalf("host spec %+v", spec)
+	}
+	if SimMemorySpec("m").ReadBW != units.MBps(4812) {
+		t.Fatal("sim memory spec wrong")
+	}
+	if d := SimLocalDiskSpec("d"); d.ReadBW != units.MBps(465) || d.Capacity != 450*units.GiB {
+		t.Fatal("sim disk spec wrong")
+	}
+	if d := RealLocalDiskSpec("d"); d.ReadBW != units.MBps(510) || d.WriteBW != units.MBps(420) {
+		t.Fatal("real disk spec wrong")
+	}
+	if l := ClusterNetworkSpec("n"); l.BW != units.MBps(3000) {
+		t.Fatal("network spec wrong")
+	}
+}

@@ -1,0 +1,188 @@
+package pysim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testSim(t *testing.T, total int64) *Sim {
+	t.Helper()
+	s, err := New(Config{
+		MemBW:  1000,
+		DiskBW: 100,
+		Cache:  core.DefaultConfig(total),
+		Chunk:  100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MemBW: 0, DiskBW: 1, Cache: core.DefaultConfig(10), Chunk: 1}); err == nil {
+		t.Fatal("zero mem bw accepted")
+	}
+	if _, err := New(Config{MemBW: 1, DiskBW: 1, Cache: core.Config{}, Chunk: 1}); err == nil {
+		t.Fatal("invalid cache config accepted")
+	}
+	if _, err := New(Config{MemBW: 1, DiskBW: 1, Cache: core.DefaultConfig(10), Chunk: 0}); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+}
+
+func TestColdWarmReadTiming(t *testing.T) {
+	s := testSim(t, 10000)
+	s.CreateFile("f", 1000)
+	if err := s.ReadFile("f", "cold"); err != nil {
+		t.Fatal(err)
+	}
+	s.ReleaseTaskMemory()
+	if err := s.ReadFile("f", "warm"); err != nil {
+		t.Fatal(err)
+	}
+	s.ReleaseTaskMemory()
+	cold := s.Log.ByName("cold")[0].Duration()
+	warm := s.Log.ByName("warm")[0].Duration()
+	if !near(cold, 10, 1e-9) { // 1000 B at 100 B/s
+		t.Fatalf("cold = %v, want 10", cold)
+	}
+	if !near(warm, 1, 1e-9) { // 1000 B at 1000 B/s
+		t.Fatalf("warm = %v, want 1", warm)
+	}
+}
+
+func TestMissingFileRead(t *testing.T) {
+	s := testSim(t, 10000)
+	if err := s.ReadFile("nope", "r"); err == nil {
+		t.Fatal("missing file read accepted")
+	}
+}
+
+func TestWriteUpdatesFileSize(t *testing.T) {
+	s := testSim(t, 10000)
+	if err := s.WriteFile("f", 500, "w"); err != nil {
+		t.Fatal(err)
+	}
+	if s.FileSize("f") != 500 {
+		t.Fatalf("size = %d", s.FileSize("f"))
+	}
+	if err := s.WriteFile("f", 200, "w2"); err != nil {
+		t.Fatal(err)
+	}
+	if s.FileSize("f") != 700 {
+		t.Fatalf("size = %d after append", s.FileSize("f"))
+	}
+}
+
+func TestWritebackUnderThresholdMemorySpeed(t *testing.T) {
+	s := testSim(t, 10000) // dirty threshold 2000
+	if err := s.WriteFile("f", 1000, "w"); err != nil {
+		t.Fatal(err)
+	}
+	d := s.Log.ByName("w")[0].Duration()
+	if !near(d, 1, 1e-9) {
+		t.Fatalf("write = %v, want 1 (memory speed)", d)
+	}
+}
+
+func TestBackgroundFlusherDoesNotChargeApp(t *testing.T) {
+	s := testSim(t, 100000)
+	if err := s.WriteFile("f", 1000, "w"); err != nil {
+		t.Fatal(err)
+	}
+	// 40 s of compute: dirty data expires (30 s) and gets flushed by the
+	// catch-up flusher at zero application cost.
+	s.Compute(40, "c")
+	if got := s.Manager().Dirty(); got != 0 {
+		t.Fatalf("dirty = %d after expiry", got)
+	}
+	c := s.Log.ByName("c")[0].Duration()
+	if !near(c, 40, 1e-9) {
+		t.Fatalf("compute = %v, want exactly 40 (background flush is free)", c)
+	}
+}
+
+func TestFlusherCatchUpUsesTickTimes(t *testing.T) {
+	s := testSim(t, 100000)
+	s.WriteFile("f", 100, "w1") // entry ≈ t0
+	s.Compute(31, "c1")         // first file expires
+	if s.Manager().Dirty() != 0 {
+		t.Fatal("expired data not flushed during compute")
+	}
+	s.WriteFile("g", 100, "w2") // young dirty data
+	s.Compute(5, "c2")          // one tick, g not yet expired
+	if s.Manager().Dirty() != 100 {
+		t.Fatalf("young dirty flushed early: %d", s.Manager().Dirty())
+	}
+}
+
+func TestMemTraceSampled(t *testing.T) {
+	s := testSim(t, 10000)
+	s.CreateFile("f", 1000)
+	s.ReadFile("f", "r")
+	s.ReleaseTaskMemory()
+	if len(s.MemTrace.Points) < 10 {
+		t.Fatalf("samples = %d", len(s.MemTrace.Points))
+	}
+	if s.MemTrace.Points[len(s.MemTrace.Points)-1].Cache != 1000 {
+		t.Fatal("final sample missing cache")
+	}
+}
+
+func TestSnapshotCache(t *testing.T) {
+	s := testSim(t, 10000)
+	s.CreateFile("f", 300)
+	s.ReadFile("f", "r")
+	s.SnapshotCache("after read")
+	if s.Snaps.Snaps[0].ByFile["f"] != 300 {
+		t.Fatalf("snapshot: %+v", s.Snaps.Snaps[0])
+	}
+}
+
+func TestPartialRead(t *testing.T) {
+	s := testSim(t, 10000)
+	s.CreateFile("f", 1000)
+	if err := s.ReadFileN("f", 300, "r"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Manager().Cached("f") != 300 {
+		t.Fatalf("cached = %d", s.Manager().Cached("f"))
+	}
+	s.ReleaseTaskMemory()
+}
+
+// TestAgreesWithPaperModel replays the synthetic pipeline shape: read cold,
+// write under threshold, re-read warm — and checks the durations follow the
+// bandwidth model exactly (the same numbers the engine produces for a
+// single-threaded run, which is the paper's §III.C cross-validation).
+func TestAgreesWithPaperModel(t *testing.T) {
+	s := testSim(t, 100000)
+	s.CreateFile("in", 2000)
+	if err := s.ReadFile("in", "Read 1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Compute(5, "Compute 1")
+	if err := s.WriteFile("out", 2000, "Write 1"); err != nil {
+		t.Fatal(err)
+	}
+	s.ReleaseTaskMemory()
+	if err := s.ReadFile("out", "Read 2"); err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string]float64{
+		"Read 1":  20, // disk
+		"Write 1": 2,  // memory (under dirty threshold 20000×0.2)
+		"Read 2":  2,  // memory
+	}
+	for name, want := range wants {
+		got := s.Log.ByName(name)[0].Duration()
+		if !near(got, want, 1e-9) {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package storage implements the simulated filesystem layer: partitions
+// with capacities holding files with byte sizes, plus the mapping from file
+// paths to the device that backs them. It provides the "storage service"
+// role WRENCH plays for the paper's simulator.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// File is simulated file metadata. Size changes as data is appended by
+// write operations.
+type File struct {
+	Name string
+	Size int64
+}
+
+// Partition is a fixed-capacity region of a device holding files.
+type Partition struct {
+	name     string
+	capacity int64
+	device   *platform.Device
+	files    map[string]*File
+	used     int64
+}
+
+// NewPartition creates a partition of the given capacity (bytes; must be
+// positive) backed by dev.
+func NewPartition(name string, capacity int64, dev *platform.Device) (*Partition, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("storage: partition %q: capacity must be positive", name)
+	}
+	if dev == nil {
+		return nil, fmt.Errorf("storage: partition %q: nil device", name)
+	}
+	return &Partition{
+		name:     name,
+		capacity: capacity,
+		device:   dev,
+		files:    make(map[string]*File),
+	}, nil
+}
+
+// Name returns the partition name.
+func (p *Partition) Name() string { return p.name }
+
+// Device returns the backing device.
+func (p *Partition) Device() *platform.Device { return p.device }
+
+// Capacity returns the partition capacity in bytes.
+func (p *Partition) Capacity() int64 { return p.capacity }
+
+// Used returns the bytes currently occupied.
+func (p *Partition) Used() int64 { return p.used }
+
+// Free returns the unoccupied bytes.
+func (p *Partition) Free() int64 { return p.capacity - p.used }
+
+// Lookup returns the file and whether it exists.
+func (p *Partition) Lookup(name string) (*File, bool) {
+	f, ok := p.files[name]
+	return f, ok
+}
+
+// Create adds an empty file. Creating an existing file is an error.
+func (p *Partition) Create(name string) (*File, error) {
+	if _, ok := p.files[name]; ok {
+		return nil, fmt.Errorf("storage: %s: file exists on %s", name, p.name)
+	}
+	f := &File{Name: name}
+	p.files[name] = f
+	return f, nil
+}
+
+// CreateSized adds a file of the given size (pre-existing input data).
+func (p *Partition) CreateSized(name string, size int64) (*File, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("storage: %s: negative size", name)
+	}
+	if size > p.Free() {
+		return nil, &ErrNoSpace{Partition: p.name, Need: size, Free: p.Free()}
+	}
+	f, err := p.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	f.Size = size
+	p.used += size
+	return f, nil
+}
+
+// Append grows the file by n bytes, enforcing capacity.
+func (p *Partition) Append(name string, n int64) error {
+	f, ok := p.files[name]
+	if !ok {
+		return fmt.Errorf("storage: %s: no such file on %s", name, p.name)
+	}
+	if n < 0 {
+		return fmt.Errorf("storage: %s: negative append", name)
+	}
+	if n > p.Free() {
+		return &ErrNoSpace{Partition: p.name, Need: n, Free: p.Free()}
+	}
+	f.Size += n
+	p.used += n
+	return nil
+}
+
+// Delete removes the file, freeing its space.
+func (p *Partition) Delete(name string) error {
+	f, ok := p.files[name]
+	if !ok {
+		return fmt.Errorf("storage: %s: no such file on %s", name, p.name)
+	}
+	p.used -= f.Size
+	delete(p.files, name)
+	return nil
+}
+
+// Truncate resets the file to zero bytes, freeing its space.
+func (p *Partition) Truncate(name string) error {
+	f, ok := p.files[name]
+	if !ok {
+		return fmt.Errorf("storage: %s: no such file on %s", name, p.name)
+	}
+	p.used -= f.Size
+	f.Size = 0
+	return nil
+}
+
+// Files returns the file names in sorted order.
+func (p *Partition) Files() []string {
+	out := make([]string, 0, len(p.files))
+	for n := range p.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrNoSpace reports a capacity violation.
+type ErrNoSpace struct {
+	Partition  string
+	Need, Free int64
+}
+
+func (e *ErrNoSpace) Error() string {
+	return fmt.Sprintf("storage: partition %s full: need %d bytes, %d free", e.Partition, e.Need, e.Free)
+}
+
+// Namespace maps file names to the partition holding them (one mount table
+// per simulation). File names are global, as in the paper's experiments.
+type Namespace struct {
+	byFile map[string]*Partition
+}
+
+// NewNamespace returns an empty mount table.
+func NewNamespace() *Namespace {
+	return &Namespace{byFile: make(map[string]*Partition)}
+}
+
+// Place records that name lives on part (called at file creation).
+func (ns *Namespace) Place(name string, part *Partition) error {
+	if cur, ok := ns.byFile[name]; ok && cur != part {
+		return fmt.Errorf("storage: %s already placed on %s", name, cur.Name())
+	}
+	ns.byFile[name] = part
+	return nil
+}
+
+// Locate returns the partition holding name.
+func (ns *Namespace) Locate(name string) (*Partition, error) {
+	p, ok := ns.byFile[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: %s: not in namespace", name)
+	}
+	return p, nil
+}
+
+// Forget removes the mapping (file deletion).
+func (ns *Namespace) Forget(name string) { delete(ns.byFile, name) }

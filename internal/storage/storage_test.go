@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/platform"
+)
+
+func testPartition(t *testing.T, capacity int64) *Partition {
+	t.Helper()
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "d", ReadBW: 1, WriteBW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartition("p", capacity, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPartitionValidation(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	dev, _ := platform.NewDevice(sys, platform.DeviceSpec{Name: "d", ReadBW: 1, WriteBW: 1})
+	if _, err := NewPartition("p", 0, dev); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewPartition("p", 100, nil); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestCreateAppendDelete(t *testing.T) {
+	p := testPartition(t, 1000)
+	if _, err := p.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Create("a"); err == nil {
+		t.Fatal("duplicate create accepted")
+	}
+	if err := p.Append("a", 400); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Append("a", 300); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := p.Lookup("a")
+	if !ok || f.Size != 700 || p.Used() != 700 || p.Free() != 300 {
+		t.Fatalf("size=%d used=%d free=%d", f.Size, p.Used(), p.Free())
+	}
+	if err := p.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 0 {
+		t.Fatalf("used = %d after delete", p.Used())
+	}
+	if err := p.Delete("a"); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	p := testPartition(t, 1000)
+	if _, err := p.CreateSized("big", 1500); err == nil {
+		t.Fatal("oversized create accepted")
+	}
+	if _, err := p.CreateSized("a", 800); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Append("a", 300)
+	var ns *ErrNoSpace
+	if !errors.As(err, &ns) {
+		t.Fatalf("err = %v, want ErrNoSpace", err)
+	}
+	if ns.Need != 300 || ns.Free != 200 {
+		t.Fatalf("ErrNoSpace fields: %+v", ns)
+	}
+}
+
+func TestNegativeSizesRejected(t *testing.T) {
+	p := testPartition(t, 1000)
+	if _, err := p.CreateSized("a", -1); err == nil {
+		t.Fatal("negative create accepted")
+	}
+	p.Create("b")
+	if err := p.Append("b", -1); err == nil {
+		t.Fatal("negative append accepted")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := testPartition(t, 1000)
+	p.CreateSized("a", 600)
+	if err := p.Truncate("a"); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := p.Lookup("a")
+	if f.Size != 0 || p.Used() != 0 {
+		t.Fatalf("size=%d used=%d", f.Size, p.Used())
+	}
+	if err := p.Truncate("missing"); err == nil {
+		t.Fatal("truncate of missing file accepted")
+	}
+}
+
+func TestFilesSorted(t *testing.T) {
+	p := testPartition(t, 1000)
+	for _, n := range []string{"z", "a", "m"} {
+		p.Create(n)
+	}
+	got := p.Files()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Files() = %v", got)
+		}
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	ns := NewNamespace()
+	p1 := testPartition(t, 1000)
+	p2 := testPartition(t, 1000)
+	if err := ns.Place("f", p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Place("f", p1); err != nil {
+		t.Fatal("idempotent place rejected")
+	}
+	if err := ns.Place("f", p2); err == nil {
+		t.Fatal("conflicting place accepted")
+	}
+	got, err := ns.Locate("f")
+	if err != nil || got != p1 {
+		t.Fatalf("Locate = %v, %v", got, err)
+	}
+	ns.Forget("f")
+	if _, err := ns.Locate("f"); err == nil {
+		t.Fatal("forgotten file still located")
+	}
+}

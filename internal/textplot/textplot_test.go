@@ -1,0 +1,84 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"name", "v1", "v2"}}
+	tb.Add("row-one", "1.0", "200")
+	tb.AddF("row-two", "%.1f", 3.14159, 2.0)
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header/separator broken:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "3.1") || !strings.Contains(lines[3], "2.0") {
+		t.Fatalf("AddF formatting broken:\n%s", out)
+	}
+}
+
+func TestTableNaN(t *testing.T) {
+	tb := &Table{Header: []string{"x", "y"}}
+	nan := 0.0
+	nan /= nan
+	tb.AddF("r", "%.1f", nan)
+	var b strings.Builder
+	tb.Render(&b)
+	if !strings.Contains(b.String(), "-") {
+		t.Fatalf("NaN not rendered as dash:\n%s", b.String())
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := &Chart{
+		Title:  "test chart",
+		Width:  40,
+		Height: 8,
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 10, 20, 30}},
+			{Name: "flat", X: []float64{0, 1, 2, 3}, Y: []float64{15, 15, 15, 15}},
+		},
+	}
+	var b strings.Builder
+	ch.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=flat") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("missing data markers")
+	}
+	// The rising series' last point must appear on the top row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Fatalf("max point not on top row:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	var b strings.Builder
+	ch.Render(&b)
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatalf("empty chart output: %q", b.String())
+	}
+}
+
+func TestChartSinglePoint(t *testing.T) {
+	ch := &Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{5}}}}
+	var b strings.Builder
+	ch.Render(&b) // must not panic or divide by zero
+	if !strings.Contains(b.String(), "*") {
+		t.Fatalf("single point missing:\n%s", b.String())
+	}
+}

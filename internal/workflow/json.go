@@ -1,0 +1,115 @@
+package workflow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/units"
+)
+
+// jsonWorkflow is the on-disk workflow description, in the spirit of the
+// WfCommons/WRENCH workflow formats the paper's framework consumes.
+//
+// Example:
+//
+//	{
+//	  "name": "nighres",
+//	  "tasks": [
+//	    {"name": "skullstrip", "cpuSeconds": 137,
+//	     "inputs": [{"file": "t1_image", "bytes": "295MB"}],
+//	     "outputs": [{"file": "skull_strip", "size": "393MB"}]}
+//	  ]
+//	}
+type jsonWorkflow struct {
+	Name  string     `json:"name"`
+	Tasks []jsonTask `json:"tasks"`
+}
+
+type jsonTask struct {
+	Name       string    `json:"name"`
+	CPUSeconds float64   `json:"cpuSeconds,omitempty"`
+	Inputs     []jsonIn  `json:"inputs,omitempty"`
+	Outputs    []jsonOut `json:"outputs,omitempty"`
+	After      []string  `json:"after,omitempty"`
+}
+
+type jsonIn struct {
+	File  string `json:"file"`
+	Bytes string `json:"bytes,omitempty"` // e.g. "295MB"; empty: whole file
+}
+
+type jsonOut struct {
+	File string `json:"file"`
+	Size string `json:"size"`
+}
+
+// LoadJSON parses a workflow description and validates the resulting DAG.
+func LoadJSON(r io.Reader) (*Workflow, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jw jsonWorkflow
+	if err := dec.Decode(&jw); err != nil {
+		return nil, fmt.Errorf("workflow: parsing: %w", err)
+	}
+	if jw.Name == "" {
+		return nil, fmt.Errorf("workflow: missing name")
+	}
+	w := New(jw.Name)
+	for _, jt := range jw.Tasks {
+		t := Task{Name: jt.Name, CPUSeconds: jt.CPUSeconds, After: jt.After}
+		for _, in := range jt.Inputs {
+			if in.File == "" {
+				return nil, fmt.Errorf("workflow %s: task %q: input with empty file", jw.Name, jt.Name)
+			}
+			bytes := int64(-1)
+			if in.Bytes != "" {
+				v, err := units.ParseBytes(in.Bytes)
+				if err != nil {
+					return nil, fmt.Errorf("workflow %s: task %q: %v", jw.Name, jt.Name, err)
+				}
+				bytes = v
+			}
+			t.Inputs = append(t.Inputs, FileRef{Name: in.File, Bytes: bytes})
+		}
+		for _, out := range jt.Outputs {
+			if out.File == "" {
+				return nil, fmt.Errorf("workflow %s: task %q: output with empty file", jw.Name, jt.Name)
+			}
+			size, err := units.ParseBytes(out.Size)
+			if err != nil {
+				return nil, fmt.Errorf("workflow %s: task %q: %v", jw.Name, jt.Name, err)
+			}
+			t.Outputs = append(t.Outputs, OutFile{Name: out.File, Size: size})
+		}
+		if err := w.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// WriteJSON serializes the workflow in the LoadJSON format.
+func (w *Workflow) WriteJSON(out io.Writer) error {
+	jw := jsonWorkflow{Name: w.Name}
+	for _, t := range w.Tasks() {
+		jt := jsonTask{Name: t.Name, CPUSeconds: t.CPUSeconds, After: t.After}
+		for _, in := range t.Inputs {
+			ji := jsonIn{File: in.Name}
+			if in.Bytes >= 0 {
+				ji.Bytes = fmt.Sprintf("%dB", in.Bytes)
+			}
+			jt.Inputs = append(jt.Inputs, ji)
+		}
+		for _, o := range t.Outputs {
+			jt.Outputs = append(jt.Outputs, jsonOut{File: o.Name, Size: fmt.Sprintf("%dB", o.Size)})
+		}
+		jw.Tasks = append(jw.Tasks, jt)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jw)
+}

@@ -1,0 +1,90 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/units"
+)
+
+const nighresJSON = `{
+  "name": "nighres",
+  "tasks": [
+    {"name": "skullstrip", "cpuSeconds": 137,
+     "inputs": [{"file": "t1_image"}],
+     "outputs": [{"file": "skull_strip", "size": "393MB"}]},
+    {"name": "tissue", "cpuSeconds": 614,
+     "inputs": [{"file": "skull_strip", "bytes": "197MB"}],
+     "outputs": [{"file": "tissue_class", "size": "1376MB"}]}
+  ]
+}`
+
+func TestLoadJSONGood(t *testing.T) {
+	w, err := LoadJSON(strings.NewReader(nighresJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "nighres" || len(w.Tasks()) != 2 {
+		t.Fatalf("workflow = %+v", w)
+	}
+	tissue := w.Task("tissue")
+	if tissue.Inputs[0].Bytes != 197*units.MB {
+		t.Fatalf("partial input = %d", tissue.Inputs[0].Bytes)
+	}
+	skull := w.Task("skullstrip")
+	if skull.Inputs[0].Bytes != -1 {
+		t.Fatalf("whole-file input = %d", skull.Inputs[0].Bytes)
+	}
+	if skull.Outputs[0].Size != 393*units.MB {
+		t.Fatalf("output = %d", skull.Outputs[0].Size)
+	}
+	order, err := w.TopoOrder()
+	if err != nil || order[0] != "skullstrip" {
+		t.Fatalf("order = %v (%v)", order, err)
+	}
+}
+
+func TestLoadJSONRejections(t *testing.T) {
+	cases := []struct{ name, json string }{
+		{"garbage", `{`},
+		{"no name", `{"tasks":[{"name":"a"}]}`},
+		{"unknown field", `{"name":"w","tasks":[{"name":"a"}],"zzz":1}`},
+		{"empty input file", `{"name":"w","tasks":[{"name":"a","inputs":[{"file":""}]}]}`},
+		{"bad bytes", `{"name":"w","tasks":[{"name":"a","inputs":[{"file":"f","bytes":"??"}]}]}`},
+		{"empty output file", `{"name":"w","tasks":[{"name":"a","outputs":[{"file":"","size":"1MB"}]}]}`},
+		{"bad size", `{"name":"w","tasks":[{"name":"a","outputs":[{"file":"f","size":"??"}]}]}`},
+		{"cycle", `{"name":"w","tasks":[
+			{"name":"a","inputs":[{"file":"fb"}],"outputs":[{"file":"fa","size":"1MB"}]},
+			{"name":"b","inputs":[{"file":"fa"}],"outputs":[{"file":"fb","size":"1MB"}]}]}`},
+		{"no tasks", `{"name":"w","tasks":[]}`},
+	}
+	for _, c := range cases {
+		if _, err := LoadJSON(strings.NewReader(c.json)); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	w, err := LoadJSON(strings.NewReader(nighresJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := w.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, b.String())
+	}
+	if len(w2.Tasks()) != len(w.Tasks()) {
+		t.Fatal("task count changed")
+	}
+	if w2.Task("tissue").Inputs[0].Bytes != 197*units.MB {
+		t.Fatal("partial input lost")
+	}
+	if w2.Task("skullstrip").Inputs[0].Bytes != -1 {
+		t.Fatal("whole-file input lost")
+	}
+}

@@ -1,0 +1,45 @@
+package workload
+
+import (
+	"repro/internal/engine"
+	"repro/internal/pysim"
+	"repro/internal/storage"
+)
+
+// EngineRunner adapts an engine.App (plus a default output partition) to the
+// Runner interface.
+type EngineRunner struct {
+	App  *engine.App
+	Part *storage.Partition
+}
+
+var _ Runner = (*EngineRunner)(nil)
+
+// ReadFile implements Runner.
+func (r *EngineRunner) ReadFile(file, label string) error {
+	return r.App.ReadFile(file, label)
+}
+
+// ReadFileN implements Runner.
+func (r *EngineRunner) ReadFileN(file string, n int64, label string) error {
+	return r.App.ReadFileN(file, n, label)
+}
+
+// WriteFile implements Runner, targeting the bound partition.
+func (r *EngineRunner) WriteFile(file string, size int64, label string) error {
+	return r.App.WriteFile(file, size, r.Part, label)
+}
+
+// Compute implements Runner.
+func (r *EngineRunner) Compute(seconds float64, label string) {
+	r.App.Compute(seconds, label)
+}
+
+// ReleaseTaskMemory implements Runner.
+func (r *EngineRunner) ReleaseTaskMemory() { r.App.ReleaseTaskMemory() }
+
+// SnapshotCache implements Runner.
+func (r *EngineRunner) SnapshotCache(label string) { r.App.SnapshotCache(label) }
+
+// Compile-time check that the pysim prototype satisfies Runner directly.
+var _ Runner = (*pysim.Sim)(nil)

@@ -1,0 +1,202 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// scriptRunner records the call sequence for workflow-shape assertions.
+type scriptRunner struct {
+	calls    []string
+	failAt   string
+	released int
+}
+
+func (r *scriptRunner) ReadFile(file, label string) error {
+	return r.record(fmt.Sprintf("read %s (%s)", file, label), label)
+}
+func (r *scriptRunner) ReadFileN(file string, n int64, label string) error {
+	return r.record(fmt.Sprintf("readN %s %d (%s)", file, n, label), label)
+}
+func (r *scriptRunner) WriteFile(file string, size int64, label string) error {
+	return r.record(fmt.Sprintf("write %s %d (%s)", file, size, label), label)
+}
+func (r *scriptRunner) Compute(seconds float64, label string) {
+	r.calls = append(r.calls, fmt.Sprintf("compute %.1f (%s)", seconds, label))
+}
+func (r *scriptRunner) ReleaseTaskMemory() {
+	r.released++
+	r.calls = append(r.calls, "release")
+}
+func (r *scriptRunner) SnapshotCache(label string) {
+	r.calls = append(r.calls, "snapshot "+label)
+}
+func (r *scriptRunner) record(s, label string) error {
+	r.calls = append(r.calls, s)
+	if r.failAt == label {
+		return errors.New("injected failure")
+	}
+	return nil
+}
+
+func TestTableIValues(t *testing.T) {
+	if len(TableI) != 5 {
+		t.Fatalf("Table I rows = %d", len(TableI))
+	}
+	if TableI[0].Size != 3*units.GB || TableI[0].CPU != 4.4 {
+		t.Fatalf("row 0 = %+v", TableI[0])
+	}
+	if TableI[4].Size != 100*units.GB || TableI[4].CPU != 155 {
+		t.Fatalf("row 4 = %+v", TableI[4])
+	}
+}
+
+func TestSyntheticCPUInterpolation(t *testing.T) {
+	if SyntheticCPU(20*units.GB) != 28 {
+		t.Fatal("tabulated value not used")
+	}
+	got := SyntheticCPU(10 * units.GB)
+	if got < 10 || got > 20 {
+		t.Fatalf("interpolated CPU(10GB) = %v, want ≈15", got)
+	}
+}
+
+func TestRunSyntheticShape(t *testing.T) {
+	r := &scriptRunner{}
+	err := RunSynthetic(r, SyntheticSpec{
+		Size: 100, CPU: 5, Files: [4]string{"f1", "f2", "f3", "f4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"read f1 (Read 1)", "compute 5.0 (Compute 1)", "write f2 100 (Write 1)", "release",
+		"read f2 (Read 2)", "compute 5.0 (Compute 2)", "write f3 100 (Write 2)", "release",
+		"read f3 (Read 3)", "compute 5.0 (Compute 3)", "write f4 100 (Write 3)", "release",
+	}
+	if len(r.calls) != len(want) {
+		t.Fatalf("calls = %v", r.calls)
+	}
+	for i := range want {
+		if r.calls[i] != want[i] {
+			t.Fatalf("call %d = %q, want %q", i, r.calls[i], want[i])
+		}
+	}
+}
+
+func TestRunSyntheticSnapshots(t *testing.T) {
+	r := &scriptRunner{}
+	if err := RunSynthetic(r, SyntheticSpec{
+		Size: 1, CPU: 1, Files: SyntheticFiles(0), Snapshot: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, c := range r.calls {
+		if c == "snapshot Read 1" || c == "snapshot Write 3" {
+			snaps++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("snapshot hooks missing: %v", r.calls)
+	}
+}
+
+func TestRunSyntheticCPUScale(t *testing.T) {
+	r := &scriptRunner{}
+	if err := RunSynthetic(r, SyntheticSpec{
+		Size: 1, CPU: 10, CPUScale: 1.5, Files: SyntheticFiles(0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range r.calls {
+		if c == "compute 15.0 (Compute 1)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("CPU scale not applied: %v", r.calls)
+	}
+}
+
+func TestRunSyntheticPropagatesError(t *testing.T) {
+	r := &scriptRunner{failAt: "Write 2"}
+	err := RunSynthetic(r, SyntheticSpec{Size: 1, CPU: 1, Files: SyntheticFiles(0)})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if r.released != 1 {
+		t.Fatalf("released = %d, want 1 (only task 1 completed)", r.released)
+	}
+}
+
+func TestSyntheticFilesDistinctPerInstance(t *testing.T) {
+	a, b := SyntheticFiles(0), SyntheticFiles(1)
+	for i := range a {
+		if a[i] == b[i] {
+			t.Fatalf("instances share file %q", a[i])
+		}
+	}
+}
+
+func TestNighresTableII(t *testing.T) {
+	steps := NighresSteps()
+	if len(steps) != 4 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	// Exact Table II numbers.
+	wants := []struct {
+		in, out int64
+		cpu     float64
+	}{
+		{295 * units.MB, 393 * units.MB, 137},
+		{197 * units.MB, 1376 * units.MB, 614},
+		{1376 * units.MB, 885 * units.MB, 76},
+		{393 * units.MB, 786 * units.MB, 272},
+	}
+	for i, w := range wants {
+		s := steps[i]
+		if s.InputBytes != w.in || s.OutputSize != w.out || s.CPU != w.cpu {
+			t.Fatalf("step %d = %+v", i, s)
+		}
+	}
+	// DAG consistency: region extraction reads the tissue output in full;
+	// cortical reconstruction reads the skull-strip output in full.
+	if steps[2].InputFile != steps[1].OutputFile || steps[2].InputBytes != steps[1].OutputSize {
+		t.Fatal("region extraction input mismatch")
+	}
+	if steps[3].InputFile != steps[0].OutputFile || steps[3].InputBytes != steps[0].OutputSize {
+		t.Fatal("cortical reconstruction input mismatch")
+	}
+	// Tissue classification reads a subset of the skull-strip output.
+	if steps[1].InputFile != steps[0].OutputFile || steps[1].InputBytes >= steps[0].OutputSize {
+		t.Fatal("tissue classification input mismatch")
+	}
+}
+
+func TestRunNighresShape(t *testing.T) {
+	r := &scriptRunner{}
+	if err := RunNighres(r); err != nil {
+		t.Fatal(err)
+	}
+	if r.released != 4 {
+		t.Fatalf("released = %d", r.released)
+	}
+	if r.calls[0] != fmt.Sprintf("readN %s %d (Read 1)", NighresInput, 295*units.MB) {
+		t.Fatalf("first call = %q", r.calls[0])
+	}
+	last := r.calls[len(r.calls)-2]
+	if last != fmt.Sprintf("write cortical_recon %d (Write 4)", 786*units.MB) {
+		t.Fatalf("last write = %q", last)
+	}
+}
+
+func TestOpsLists(t *testing.T) {
+	if len(SyntheticOps()) != 6 || len(NighresOps()) != 8 {
+		t.Fatal("op label lists wrong")
+	}
+}
