@@ -5,6 +5,15 @@ import "fmt"
 // Block is the model's unit of cached data (§III.A.1): a contiguous set of
 // file pages accessed in the same I/O operation. Blocks of one file can
 // coexist, have different sizes, and can be split arbitrarily.
+//
+// Besides the main LRU links, every block carries two sets of secondary
+// intrusive links maintained by its owning List — the dirty sublist
+// (dprev/dnext, threading the list's dirty blocks in list order) and the
+// per-file chain (fprev/fnext, threading the list's blocks of one file in
+// list order) — plus the Manager-level expiry-queue links (eprev/enext,
+// threading all dirty blocks of both lists in Entry order). They exist so
+// the Manager's scans touch only the blocks they are actually about instead
+// of walking the whole cache.
 type Block struct {
 	File       string
 	Size       int64
@@ -12,8 +21,11 @@ type Block struct {
 	LastAccess float64 // governs LRU ordering
 	Dirty      bool
 
-	prev, next *Block
-	owner      *List
+	prev, next   *Block // main LRU list
+	dprev, dnext *Block // dirty sublist of the owning list (nil unless Dirty)
+	fprev, fnext *Block // per-file chain of the owning list
+	eprev, enext *Block // Manager expiry queue (nil unless Dirty)
+	owner        *List
 }
 
 // InList reports which list currently holds the block (nil if none).

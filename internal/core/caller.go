@@ -1,15 +1,3 @@
-// Package core implements the paper's page-cache simulation model (§III):
-// data blocks in sorted active/inactive LRU lists, the Memory Manager
-// (flushing, eviction, cached I/O, periodic expiry flushing — Algorithm 1),
-// and the I/O Controller (chunked reads — Algorithm 2, writes — Algorithm 3,
-// plus the writethrough variant).
-//
-// The model is deliberately decoupled from any particular simulation engine:
-// every operation that consumes simulated time goes through the Caller
-// interface. The DES engine (internal/engine) implements Caller with
-// fair-shared fluid transfers; the sequential prototype (internal/pysim)
-// implements it with fixed-bandwidth arithmetic, exactly like the paper's
-// Python prototype.
 package core
 
 // Caller is the executing simulated thread. Each method blocks the caller

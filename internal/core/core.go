@@ -1,1 +1,42 @@
+// Package core implements the paper's page-cache simulation model (§III):
+// data blocks in sorted active/inactive LRU lists, the Memory Manager
+// (flushing, eviction, cached I/O, periodic expiry flushing — Algorithm 1),
+// and the I/O Controller (chunked reads — Algorithm 2, writes — Algorithm 3,
+// plus the writethrough variant).
+//
+// The model is deliberately decoupled from any particular simulation engine:
+// every operation that consumes simulated time goes through the Caller
+// interface. The DES engine (internal/engine) implements Caller with
+// fair-shared fluid transfers; the sequential prototype (internal/pysim)
+// implements it with fixed-bandwidth arithmetic, exactly like the paper's
+// Python prototype.
+//
+// # Complexity of the Manager operations
+//
+// The Memory Manager is the hot path of every simulation, so the lists are
+// indexed: each List threads its dirty blocks into an intrusive dirty
+// sublist and each file's blocks into an intrusive per-file chain (both in
+// list order, with incrementally maintained byte totals), and the Manager
+// threads all dirty blocks into an Entry-ordered expiry queue. With n total
+// blocks in the cache, d dirty blocks, f blocks of the file being operated
+// on, and w files currently open for writing, the dominant operations cost
+// (before indexing → after):
+//
+//	Flush (per flushed block)      O(n) full-list rescan  → O(1) dirty-front peek
+//	FlushExpired, idle wake-up     O(n)                   → O(1) expiry-queue head check
+//	FlushExpired (per flushed)     O(n)                   → O(d) dirty-sublist walk, worst case
+//	CacheRead                      O(n) two-list walk     → O(f) per-file chain walk
+//	InvalidateFile                 O(n) two-list walk     → O(f) per-file chain walk
+//	Evictable                      O(n) inactive walk     → O(1), or O(w) with the heuristic
+//	List.InsertSorted (demotion)   O(distance from tail)  → O(min distance from either end)
+//	AddToCache/WriteToCache        O(1)                   → O(1)
+//	Evict (per evicted block)      O(1) + exclusion skips (unchanged)
+//
+// Additionally, adjacent same-file clean blocks with identical entry and
+// access times — the products of repeated partial flush/demotion splits —
+// are coalesced on insert, which bounds block-count growth in fragmented
+// workloads. All of this is pure bookkeeping: the simulated behavior
+// (which bytes move, in which order, at which simulated times) is
+// bit-identical to the unindexed implementation, and
+// Manager.CheckInvariants verifies every index structure block by block.
 package core

@@ -6,6 +6,11 @@ package core
 // driver terminate the loop (the algorithm's "while host is on"). The
 // engine runs this inside a dedicated simulated process; the sequential
 // prototype emulates it with catch-up calls instead.
+//
+// Each wake-up costs O(1) real time when nothing is expired: FlushExpired
+// answers the idle case from the manager's expiry-queue head instead of
+// scanning the LRU lists, so hosts with large quiescent caches no longer
+// pay a full-cache walk every FlushInterval.
 func RunPeriodicFlusher(c Caller, m *Manager, sleep func(seconds float64), hostOn func() bool) {
 	interval := m.Config().FlushInterval
 	for hostOn() {

@@ -122,8 +122,11 @@ func (io *IOController) ReadChunk(c Caller, file string, chunkSize, fileSize int
 	cacheRead := chunkSize - diskRead // line 8
 	required := chunkSize + diskRead  // line 9: app copy + cache copy
 
-	m.Flush(c, required-m.Free()-m.Evictable(file)) // line 10
-	m.Evict(required-m.Free(), file)                // line 11
+	// Lines 10-11. Evictable is an O(1) counter lookup and Flush peeks the
+	// dirty sublists, so this per-chunk headroom check no longer walks the
+	// cache — it used to dominate chunked reads of large caches.
+	m.Flush(c, required-m.Free()-m.Evictable(file))
+	m.Evict(required-m.Free(), file)
 
 	if diskRead > 0 { // lines 12-15
 		c.DiskRead(file, diskRead)

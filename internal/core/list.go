@@ -2,7 +2,20 @@ package core
 
 // List is an intrusive doubly-linked list of blocks ordered by LastAccess,
 // earliest first — the representation of the page-cache LRU lists in Fig 2.
-// The list maintains byte totals (overall and dirty) incrementally.
+//
+// Besides the main links the list maintains two secondary index structures,
+// kept consistent by every mutating operation:
+//
+//   - the dirty sublist (dhead/dtail through Block.dprev/dnext): the list's
+//     dirty blocks threaded in list order, making "least recently used dirty
+//     block" an O(1) front peek and dirty-only walks proportional to the
+//     number of dirty blocks;
+//   - per-file chains (files map through Block.fprev/fnext): each file's
+//     blocks threaded in list order with per-file byte/dirty totals, making
+//     single-file scans (cached reads, invalidation, eviction exclusion
+//     accounting) proportional to that file's block count.
+//
+// Byte totals (overall, dirty, and per file) are maintained incrementally.
 type List struct {
 	name  string
 	head  *Block
@@ -10,10 +23,23 @@ type List struct {
 	count int
 	bytes int64
 	dirty int64
+
+	dhead, dtail *Block
+	files        map[string]*fileChain
+}
+
+// fileChain indexes one file's blocks within a list: the chain endpoints (in
+// list order) and incremental byte totals.
+type fileChain struct {
+	head, tail *Block
+	bytes      int64
+	dirty      int64
 }
 
 // NewList returns an empty list with a diagnostic name ("inactive"/"active").
-func NewList(name string) *List { return &List{name: name} }
+func NewList(name string) *List {
+	return &List{name: name, files: make(map[string]*fileChain)}
+}
 
 // Name returns the list's diagnostic name.
 func (l *List) Name() string { return l.name }
@@ -33,12 +59,63 @@ func (l *List) Front() *Block { return l.head }
 // Back returns the most recently used block (nil when empty).
 func (l *List) Back() *Block { return l.tail }
 
+// FrontDirty returns the least recently used dirty block (nil when none).
+func (l *List) FrontDirty() *Block { return l.dhead }
+
+// FileBytes returns the bytes of file held by the list.
+func (l *List) FileBytes(file string) int64 {
+	if fc := l.files[file]; fc != nil {
+		return fc.bytes
+	}
+	return 0
+}
+
+// FileDirtyBytes returns the dirty bytes of file held by the list.
+func (l *List) FileDirtyBytes(file string) int64 {
+	if fc := l.files[file]; fc != nil {
+		return fc.dirty
+	}
+	return 0
+}
+
+// FileCleanBytes returns the clean bytes of file held by the list.
+func (l *List) FileCleanBytes(file string) int64 {
+	if fc := l.files[file]; fc != nil {
+		return fc.bytes - fc.dirty
+	}
+	return 0
+}
+
+// fileFront returns the least recently used block of file (nil when none).
+func (l *List) fileFront(file string) *Block {
+	if fc := l.files[file]; fc != nil {
+		return fc.head
+	}
+	return nil
+}
+
+// coalescible reports whether b can be absorbed into a main-list-adjacent
+// block a: same file, both clean, and indistinguishable metadata. Merging
+// such blocks is semantics-preserving (every Manager operation treats them
+// byte-wise) and bounds block-count growth under repeated partial flushes,
+// evictions and demotion splits of fragmented workloads.
+func coalescible(a, b *Block) bool {
+	return a.File == b.File && !a.Dirty && !b.Dirty &&
+		a.Entry == b.Entry && a.LastAccess == b.LastAccess
+}
+
 // PushBack appends b as the most recently used block. b must not belong to
 // any list, and its LastAccess must be ≥ the current tail's (the caller
-// guarantees this because simulated time is monotonic).
+// guarantees this because simulated time is monotonic). If b is
+// indistinguishable from the current tail (same file, both clean, equal
+// times) it is coalesced into the tail instead of being linked.
 func (l *List) PushBack(b *Block) {
 	if b.owner != nil {
 		panic("core: block already in a list")
+	}
+	if t := l.tail; t != nil && coalescible(t, b) {
+		l.resize(t, t.Size+b.Size)
+		return
 	}
 	b.owner = l
 	b.prev = l.tail
@@ -49,44 +126,140 @@ func (l *List) PushBack(b *Block) {
 		l.head = b
 	}
 	l.tail = b
+	if b.Dirty {
+		l.dirtyLinkAfter(b, l.dtail)
+	}
+	fc := l.chain(b.File)
+	l.fileLinkAfter(fc, b, fc.tail)
 	l.account(b, +1)
 }
 
-// InsertSorted places b at its LastAccess-sorted position, scanning from the
-// tail (used when demoting blocks from the active list, whose access times
-// may interleave with the inactive list's).
+// InsertSorted places b at its LastAccess-sorted position: after every block
+// whose access time is ≤ b's (used when demoting blocks from the active
+// list, whose access times may interleave with the inactive list's). The
+// in-order case — b at least as recent as the tail, the common demotion
+// pattern — is an O(1) append; otherwise the position is found by searching
+// from both ends at once, O(min(distance from head, distance from tail)),
+// never worse than the pre-index tail scan. Adjacent indistinguishable
+// clean blocks coalesce as in PushBack.
 func (l *List) InsertSorted(b *Block) {
 	if b.owner != nil {
 		panic("core: block already in a list")
 	}
-	pos := l.tail
-	for pos != nil && pos.LastAccess > b.LastAccess {
-		pos = pos.prev
+	if l.tail == nil || l.tail.LastAccess <= b.LastAccess {
+		l.PushBack(b)
+		return
+	}
+	// b goes right after p, the last block with access ≤ b's (nil: at head);
+	// p != tail here, so pos (b's successor) exists.
+	p := l.accessPredecessor(b.LastAccess)
+	if p != nil && coalescible(p, b) {
+		l.resize(p, p.Size+b.Size)
+		return
+	}
+	pos := l.head
+	if p != nil {
+		pos = p.next
 	}
 	b.owner = l
-	if pos == nil { // new head
-		b.prev = nil
-		b.next = l.head
-		if l.head != nil {
-			l.head.prev = b
-		} else {
-			l.tail = b
-		}
-		l.head = b
+	b.next = pos
+	b.prev = p
+	if p != nil {
+		p.next = b
 	} else {
-		b.prev = pos
-		b.next = pos.next
-		if pos.next != nil {
-			pos.next.prev = b
-		} else {
-			l.tail = b
-		}
-		pos.next = b
+		l.head = b
 	}
+	pos.prev = b
+	if b.Dirty {
+		// The dirty sublist is in list order, so the same access-time
+		// boundary search finds the same position the main list got.
+		l.dirtyLinkAfter(b, l.dirtyPredecessor(b.LastAccess))
+	}
+	fc := l.chain(b.File)
+	l.fileLinkAfter(fc, b, filePredecessor(fc, b.LastAccess))
 	l.account(b, +1)
 }
 
-// Remove unlinks b from the list.
+// accessPredecessor returns the last block with LastAccess ≤ access (nil if
+// none). Both ends are scanned simultaneously, so the cost is proportional
+// to the boundary's distance from the nearer end.
+func (l *List) accessPredecessor(access float64) *Block {
+	f, t := l.head, l.tail
+	for {
+		if t == nil || t.LastAccess <= access {
+			return t
+		}
+		if f.LastAccess > access {
+			return f.prev
+		}
+		t = t.prev
+		f = f.next
+	}
+}
+
+// dirtyPredecessor is accessPredecessor over the dirty sublist.
+func (l *List) dirtyPredecessor(access float64) *Block {
+	f, t := l.dhead, l.dtail
+	for {
+		if t == nil || t.LastAccess <= access {
+			return t
+		}
+		if f.LastAccess > access {
+			return f.dprev
+		}
+		t = t.dprev
+		f = f.dnext
+	}
+}
+
+// filePredecessor is accessPredecessor over a file chain.
+func filePredecessor(fc *fileChain, access float64) *Block {
+	f, t := fc.head, fc.tail
+	for {
+		if t == nil || t.LastAccess <= access {
+			return t
+		}
+		if f.LastAccess > access {
+			return f.fprev
+		}
+		t = t.fprev
+		f = f.fnext
+	}
+}
+
+// insertBefore links clean block nb immediately before its same-file split
+// sibling pos (partial-flush splits: identical access time and file). nb
+// coalesces into pos's predecessor when indistinguishable. Dirty blocks are
+// rejected: their expiry-queue membership is managed by the Manager, which
+// this list cannot reach.
+func (l *List) insertBefore(nb, pos *Block) {
+	if pos.owner != l {
+		panic("core: insertBefore position not in list")
+	}
+	if nb.owner != nil {
+		panic("core: block already in a list")
+	}
+	if nb.Dirty || nb.File != pos.File {
+		panic("core: insertBefore supports only clean same-file split blocks")
+	}
+	if p := pos.prev; p != nil && coalescible(p, nb) {
+		l.resize(p, p.Size+nb.Size)
+		return
+	}
+	nb.owner = l
+	nb.next = pos
+	nb.prev = pos.prev
+	if pos.prev != nil {
+		pos.prev.next = nb
+	} else {
+		l.head = nb
+	}
+	pos.prev = nb
+	l.fileLinkAfter(l.chain(nb.File), nb, pos.fprev)
+	l.account(nb, +1)
+}
+
+// Remove unlinks b from the list (main links, dirty sublist, file chain).
 func (l *List) Remove(b *Block) {
 	if b.owner != l {
 		panic("core: removing block from wrong list")
@@ -102,19 +275,104 @@ func (l *List) Remove(b *Block) {
 		l.tail = b.prev
 	}
 	b.prev, b.next, b.owner = nil, nil, nil
+	if b.Dirty {
+		l.dirtyUnlink(b)
+	}
+	l.fileUnlink(b)
 	l.account(b, -1)
+}
+
+// chain returns the (created-on-demand) file chain for file.
+func (l *List) chain(file string) *fileChain {
+	fc := l.files[file]
+	if fc == nil {
+		fc = &fileChain{}
+		l.files[file] = fc
+	}
+	return fc
+}
+
+// dirtyLinkAfter inserts b into the dirty sublist after dp (nil: at front).
+func (l *List) dirtyLinkAfter(b, dp *Block) {
+	b.dprev = dp
+	if dp != nil {
+		b.dnext = dp.dnext
+		dp.dnext = b
+	} else {
+		b.dnext = l.dhead
+		l.dhead = b
+	}
+	if b.dnext != nil {
+		b.dnext.dprev = b
+	} else {
+		l.dtail = b
+	}
+}
+
+func (l *List) dirtyUnlink(b *Block) {
+	if b.dprev != nil {
+		b.dprev.dnext = b.dnext
+	} else {
+		l.dhead = b.dnext
+	}
+	if b.dnext != nil {
+		b.dnext.dprev = b.dprev
+	} else {
+		l.dtail = b.dprev
+	}
+	b.dprev, b.dnext = nil, nil
+}
+
+// fileLinkAfter inserts b into fc after fp (nil: at front).
+func (l *List) fileLinkAfter(fc *fileChain, b, fp *Block) {
+	b.fprev = fp
+	if fp != nil {
+		b.fnext = fp.fnext
+		fp.fnext = b
+	} else {
+		b.fnext = fc.head
+		fc.head = b
+	}
+	if b.fnext != nil {
+		b.fnext.fprev = b
+	} else {
+		fc.tail = b
+	}
+}
+
+func (l *List) fileUnlink(b *Block) {
+	fc := l.files[b.File]
+	if b.fprev != nil {
+		b.fprev.fnext = b.fnext
+	} else {
+		fc.head = b.fnext
+	}
+	if b.fnext != nil {
+		b.fnext.fprev = b.fprev
+	} else {
+		fc.tail = b.fprev
+	}
+	b.fprev, b.fnext = nil, nil
 }
 
 func (l *List) account(b *Block, sign int64) {
 	l.count += int(sign)
 	l.bytes += sign * b.Size
+	fc := l.files[b.File]
+	fc.bytes += sign * b.Size
 	if b.Dirty {
 		l.dirty += sign * b.Size
+		fc.dirty += sign * b.Size
+	}
+	if fc.head == nil && fc.bytes == 0 {
+		delete(l.files, b.File)
 	}
 }
 
-// markClean clears b's dirty flag, keeping byte accounting consistent.
-// It is the only sanctioned way to clean a block that sits in a list.
+// markClean clears b's dirty flag, keeping byte accounting and the dirty
+// sublist consistent. It is the only sanctioned way to clean a block that
+// sits in a list. The Manager additionally removes the block from its
+// expiry queue.
 func (l *List) markClean(b *Block) {
 	if b.owner != l {
 		panic("core: markClean on block from wrong list")
@@ -122,18 +380,23 @@ func (l *List) markClean(b *Block) {
 	if b.Dirty {
 		b.Dirty = false
 		l.dirty -= b.Size
+		l.files[b.File].dirty -= b.Size
+		l.dirtyUnlink(b)
 	}
 }
 
-// resize changes b's size in place (used by in-list partial flush splits).
+// resize changes b's size in place (used by in-list partial flush splits and
+// block coalescing).
 func (l *List) resize(b *Block, newSize int64) {
 	if b.owner != l {
 		panic("core: resize on block from wrong list")
 	}
 	delta := newSize - b.Size
 	l.bytes += delta
+	l.files[b.File].bytes += delta
 	if b.Dirty {
 		l.dirty += delta
+		l.files[b.File].dirty += delta
 	}
 	b.Size = newSize
 }
@@ -142,6 +405,16 @@ func (l *List) resize(b *Block, newSize int64) {
 // walk. fn must not mutate the list.
 func (l *List) Each(fn func(*Block) bool) {
 	for b := l.head; b != nil; b = b.next {
+		if !fn(b) {
+			return
+		}
+	}
+}
+
+// EachFile calls fn on every block of file from LRU to MRU; fn returning
+// false stops the walk. fn must not mutate the list.
+func (l *List) EachFile(file string, fn func(*Block) bool) {
+	for b := l.fileFront(file); b != nil; b = b.fnext {
 		if !fn(b) {
 			return
 		}

@@ -58,6 +58,15 @@ func (c Config) Validate() error {
 // body. All mutations are atomic in simulated time; only Caller transfers
 // block, and every scan restarts after a blocking point, which makes the
 // manager safe for concurrent simulated processes without explicit locks.
+//
+// Beyond the lists' own indexes (dirty sublists, per-file chains), the
+// manager threads every dirty block of both lists into an expiry queue
+// ordered by Entry time (eqHead/eqTail through Block.eprev/enext). Entry
+// times are assigned once, at block creation, from the monotonic simulated
+// clock and survive list moves, demotions and splits unchanged, so the
+// queue is maintained with O(1) link operations — and its head answers
+// "is anything expired?" in O(1), the common no-op case of the periodic
+// flusher.
 type Manager struct {
 	cfg      Config
 	inactive *List
@@ -65,6 +74,8 @@ type Manager struct {
 	anon     int64
 	cached   map[string]int64 // per-file cached bytes
 	writing  map[string]int   // open-for-write refcounts (extension heuristic)
+
+	eqHead, eqTail *Block // expiry queue: all dirty blocks, Entry-ordered
 
 	// ForcedEvictions counts safety-valve direct reclaims (see UseAnon);
 	// zero in well-formed workloads.
@@ -117,15 +128,18 @@ func (m *Manager) DirtyThreshold() int64 {
 }
 
 // Evictable returns the clean bytes in the inactive list, excluding blocks
-// of `exclude` and of write-protected files.
+// of `exclude` and of write-protected files. Computed from the incremental
+// per-list and per-file counters: O(1), or O(open writers) under the
+// EvictExcludesOpenWrites heuristic — never a list walk.
 func (m *Manager) Evictable(exclude string) int64 {
-	var n int64
-	m.inactive.Each(func(b *Block) bool {
-		if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
-			n += b.Size
+	n := m.inactive.Bytes() - m.inactive.DirtyBytes() - m.inactive.FileCleanBytes(exclude)
+	if m.cfg.EvictExcludesOpenWrites {
+		for f, refs := range m.writing {
+			if refs > 0 && f != exclude {
+				n -= m.inactive.FileCleanBytes(f)
+			}
 		}
-		return true
-	})
+	}
 	return n
 }
 
@@ -143,6 +157,52 @@ func (m *Manager) CloseWrite(file string) {
 	} else {
 		m.writing[file]--
 	}
+}
+
+// enqueueExpiry appends b to the expiry queue. Entry times are assigned from
+// the monotonic simulated clock, so the append preserves Entry order; the
+// defensive scan only moves when a caller violates that (it is O(1) on every
+// sanctioned path).
+func (m *Manager) enqueueExpiry(b *Block) {
+	pos := m.eqTail
+	for pos != nil && pos.Entry > b.Entry {
+		pos = pos.eprev
+	}
+	m.enqueueExpiryAfter(b, pos)
+}
+
+// enqueueExpiryAfter links b into the expiry queue right after pos (nil: at
+// the head). Used directly for splits of queued dirty blocks, whose halves
+// share an Entry time.
+func (m *Manager) enqueueExpiryAfter(b, pos *Block) {
+	b.eprev = pos
+	if pos != nil {
+		b.enext = pos.enext
+		pos.enext = b
+	} else {
+		b.enext = m.eqHead
+		m.eqHead = b
+	}
+	if b.enext != nil {
+		b.enext.eprev = b
+	} else {
+		m.eqTail = b
+	}
+}
+
+// dequeueExpiry unlinks b from the expiry queue (block cleaned or dropped).
+func (m *Manager) dequeueExpiry(b *Block) {
+	if b.eprev != nil {
+		b.eprev.enext = b.enext
+	} else {
+		m.eqHead = b.enext
+	}
+	if b.enext != nil {
+		b.enext.eprev = b.eprev
+	} else {
+		m.eqTail = b.eprev
+	}
+	b.eprev, b.enext = nil, nil
 }
 
 // UseAnon grows anonymous memory by n bytes. If that overcommits RAM, the
@@ -180,6 +240,9 @@ func (m *Manager) ReleaseAnon(n int64) {
 func (m *Manager) forceEvict(amount int64) int64 {
 	var evicted int64
 	for _, l := range []*List{m.inactive, m.active} {
+		if l.Bytes() == l.DirtyBytes() {
+			continue // nothing clean to reclaim here
+		}
 		b := l.Front()
 		for b != nil && evicted < amount {
 			next := b.next
@@ -235,6 +298,9 @@ func (m *Manager) Evict(amount int64, exclude string) int64 {
 	}
 	var evicted int64
 	for _, l := range []*List{m.inactive, m.active} {
+		if l.Bytes() == l.DirtyBytes() {
+			continue // nothing clean to evict here
+		}
 		b := l.Front()
 		for b != nil && evicted < amount {
 			next := b.next
@@ -258,7 +324,8 @@ func (m *Manager) Evict(amount int64, exclude string) int64 {
 // amounts are no-ops. Returns the flushed byte count.
 //
 // The scan restarts after every blocking write so that concurrent list
-// mutations (other simulated processes) are observed.
+// mutations (other simulated processes) are observed — and thanks to the
+// dirty sublists each restart is an O(1) front peek, not a list walk.
 func (m *Manager) Flush(c Caller, amount int64) int64 {
 	if amount <= 0 {
 		return 0
@@ -277,14 +344,13 @@ func (m *Manager) Flush(c Caller, amount int64) int64 {
 }
 
 // nextDirtyLRU returns the least recently used dirty block, searching the
-// inactive list first.
+// inactive list first. O(1): the dirty sublists' front blocks.
 func (m *Manager) nextDirtyLRU() (*List, *Block) {
-	for _, l := range []*List{m.inactive, m.active} {
-		for b := l.Front(); b != nil; b = b.next {
-			if b.Dirty {
-				return l, b
-			}
-		}
+	if b := m.inactive.FrontDirty(); b != nil {
+		return m.inactive, b
+	}
+	if b := m.active.FrontDirty(); b != nil {
+		return m.active, b
 	}
 	return nil, nil
 }
@@ -292,33 +358,19 @@ func (m *Manager) nextDirtyLRU() (*List, *Block) {
 // cleanBlockPrefix marks up to `want` bytes of dirty block b clean
 // (Algorithm 1 cleans before writing). A partial clean splits the block: the
 // clean part is inserted just before the still-dirty remainder, preserving
-// both entry and access times. Returns the cleaned byte count.
+// both entry and access times (and coalescing with a clean split sibling
+// from an earlier partial flush when one is adjacent). Returns the cleaned
+// byte count.
 func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 	if b.Size <= want {
 		l.markClean(b)
+		m.dequeueExpiry(b)
 		return b.Size
 	}
 	l.resize(b, b.Size-want)
 	nb := &Block{File: b.File, Size: want, Entry: b.Entry, LastAccess: b.LastAccess}
-	m.insertBefore(l, nb, b)
+	l.insertBefore(nb, b)
 	return want
-}
-
-// insertBefore links nb immediately before pos in l (same access time).
-func (m *Manager) insertBefore(l *List, nb *Block, pos *Block) {
-	if pos.owner != l {
-		panic("core: insertBefore position not in list")
-	}
-	nb.owner = l
-	nb.next = pos
-	nb.prev = pos.prev
-	if pos.prev != nil {
-		pos.prev.next = nb
-	} else {
-		l.head = nb
-	}
-	pos.prev = nb
-	l.account(nb, +1)
 }
 
 // FlushExpired implements the body of the periodic flusher (Algorithm 1):
@@ -333,15 +385,23 @@ func (m *Manager) FlushExpired(c Caller) int64 {
 			return flushed
 		}
 		l.markClean(b)
+		m.dequeueExpiry(b)
 		flushed += b.Size
 		c.DiskWrite(b.File, b.Size) // blocking; rescan afterwards
 	}
 }
 
+// nextExpired returns the first expired dirty block in eviction order
+// (inactive list before active list, LRU first). The expiry-queue head —
+// the globally oldest dirty block — answers the common "nothing expired"
+// case in O(1); otherwise only the dirty sublists are walked.
 func (m *Manager) nextExpired(now float64) (*List, *Block) {
+	if m.eqHead == nil || now-m.eqHead.Entry < m.cfg.DirtyExpire {
+		return nil, nil
+	}
 	for _, l := range []*List{m.inactive, m.active} {
-		for b := l.Front(); b != nil; b = b.next {
-			if b.Dirty && now-b.Entry >= m.cfg.DirtyExpire {
+		for b := l.FrontDirty(); b != nil; b = b.dnext {
+			if now-b.Entry >= m.cfg.DirtyExpire {
 				return l, b
 			}
 		}
@@ -388,6 +448,7 @@ func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 	}
 	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true}
 	m.inactive.PushBack(b)
+	m.enqueueExpiry(b)
 	m.addCached(file, n)
 	m.balance()
 	c.MemWrite(n)
@@ -400,6 +461,9 @@ func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 // to the active list; dirty blocks move individually, preserving their entry
 // times. Partially read blocks are split. The memory read is charged
 // through c after the list mutation.
+//
+// The scans follow the per-file chains, so the cost is proportional to the
+// file's own block count, not the cache size.
 func (m *Manager) CacheRead(c Caller, file string, amount int64) {
 	if amount <= 0 {
 		return
@@ -410,32 +474,36 @@ func (m *Manager) CacheRead(c Caller, file string, amount int64) {
 	mergedEntry := now
 
 	consume := func(l *List) {
-		b := l.Front()
+		b := l.fileFront(file)
 		for b != nil && remaining > 0 {
-			next := b.next
-			if b.File == file {
-				take := b.Size
-				if take > remaining {
-					take = remaining
-				}
-				if take == b.Size {
-					l.Remove(b)
-				} else {
-					// Split: the LRU-side prefix is the portion read now.
-					l.resize(b, b.Size-take)
-					b = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
-				}
-				if b.Dirty {
-					b.LastAccess = now
-					m.active.PushBack(b)
-				} else {
-					mergedSize += b.Size
-					if b.Entry < mergedEntry {
-						mergedEntry = b.Entry
-					}
-				}
-				remaining -= take
+			next := b.fnext
+			take := b.Size
+			if take > remaining {
+				take = remaining
 			}
+			moved := b
+			if take == b.Size {
+				l.Remove(b)
+			} else {
+				// Split: the LRU-side prefix is the portion read now.
+				l.resize(b, b.Size-take)
+				moved = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
+			}
+			if moved.Dirty {
+				moved.LastAccess = now
+				m.active.PushBack(moved)
+				if moved != b {
+					// New dirty block split off a queued one: same Entry,
+					// so it slots in right next to the original.
+					m.enqueueExpiryAfter(moved, b)
+				}
+			} else {
+				mergedSize += moved.Size
+				if moved.Entry < mergedEntry {
+					mergedEntry = moved.Entry
+				}
+			}
+			remaining -= take
 			b = next
 		}
 	}
@@ -451,17 +519,18 @@ func (m *Manager) CacheRead(c Caller, file string, amount int64) {
 
 // InvalidateFile drops every cached block of file (clean or dirty) without
 // writing anything back — the semantics of deleting the file. Returns the
-// dropped byte count.
+// dropped byte count. Walks only the file's own chains.
 func (m *Manager) InvalidateFile(file string) int64 {
 	var dropped int64
 	for _, l := range []*List{m.inactive, m.active} {
-		b := l.Front()
+		b := l.fileFront(file)
 		for b != nil {
-			next := b.next
-			if b.File == file {
-				dropped += b.Size
-				l.Remove(b)
+			next := b.fnext
+			dropped += b.Size
+			if b.Dirty {
+				m.dequeueExpiry(b)
 			}
+			l.Remove(b)
 			b = next
 		}
 	}
@@ -494,6 +563,10 @@ func (m *Manager) balance() {
 		m.active.resize(b, b.Size-excess)
 		nb := &Block{File: b.File, Size: excess, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
 		m.inactive.InsertSorted(nb)
+		if nb.Dirty {
+			// Split of a queued dirty block: same Entry, slots in next to b.
+			m.enqueueExpiryAfter(nb, b)
+		}
 	}
 }
 
@@ -541,16 +614,26 @@ func (m *Manager) CachedFiles() []string {
 	return out
 }
 
-// CheckInvariants verifies internal consistency; tests call it after
-// randomized operation sequences. It returns an error describing the first
-// violation found.
+// CheckInvariants verifies internal consistency — the classic accounting
+// invariants plus the index structures this package maintains incrementally:
+// per-list dirty sublists (order and membership), per-file chains (order,
+// membership, byte totals), and the manager-wide expiry queue (membership
+// and Entry order). Tests call it after randomized operation sequences. It
+// returns an error describing the first violation found.
 func (m *Manager) CheckInvariants() error {
 	var perFile = map[string]int64{}
-	var total int64
+	dirtySet := map[*Block]bool{}
+	var dirtyCount int
 	for _, l := range []*List{m.inactive, m.active} {
 		var bytes, dirty int64
 		n := 0
 		last := -1.0
+		// Reference sequences rebuilt from the main walk, checked against
+		// the incremental structures below.
+		dirtySeq := []*Block{}
+		fileSeq := map[string][]*Block{}
+		fileBytes := map[string]int64{}
+		fileDirty := map[string]int64{}
 		for b := l.Front(); b != nil; b = b.next {
 			if b.owner != l {
 				return fmt.Errorf("block %v has wrong owner", b)
@@ -565,15 +648,93 @@ func (m *Manager) CheckInvariants() error {
 			bytes += b.Size
 			if b.Dirty {
 				dirty += b.Size
+				dirtySeq = append(dirtySeq, b)
+				dirtySet[b] = true
+				dirtyCount++
+				fileDirty[b.File] += b.Size
 			}
 			perFile[b.File] += b.Size
+			fileSeq[b.File] = append(fileSeq[b.File], b)
+			fileBytes[b.File] += b.Size
 			n++
 		}
 		if bytes != l.Bytes() || dirty != l.DirtyBytes() || n != l.Len() {
 			return fmt.Errorf("list %s accounting mismatch: bytes %d/%d dirty %d/%d len %d/%d",
 				l.name, bytes, l.Bytes(), dirty, l.DirtyBytes(), n, l.Len())
 		}
-		total += bytes
+		// Dirty sublist: exactly the dirty blocks, in list order.
+		d := l.FrontDirty()
+		for i, want := range dirtySeq {
+			if d != want {
+				return fmt.Errorf("list %s dirty sublist diverges at %d: %v != %v", l.name, i, d, want)
+			}
+			if d.dnext != nil && d.dnext.dprev != d {
+				return fmt.Errorf("list %s dirty sublist back-link broken at %v", l.name, d)
+			}
+			d = d.dnext
+		}
+		if d != nil {
+			return fmt.Errorf("list %s dirty sublist has extra block %v", l.name, d)
+		}
+		if len(dirtySeq) == 0 {
+			if l.dhead != nil || l.dtail != nil {
+				return fmt.Errorf("list %s dirty sublist not empty", l.name)
+			}
+		} else if l.dtail != dirtySeq[len(dirtySeq)-1] {
+			return fmt.Errorf("list %s dirty sublist tail mismatch", l.name)
+		}
+		// Per-file chains: exactly each file's blocks, in list order, with
+		// matching byte totals — and no stale chains in the map.
+		for f, seq := range fileSeq {
+			fb := l.fileFront(f)
+			for i, want := range seq {
+				if fb != want {
+					return fmt.Errorf("list %s file chain %s diverges at %d: %v != %v", l.name, f, i, fb, want)
+				}
+				if fb.fnext != nil && fb.fnext.fprev != fb {
+					return fmt.Errorf("list %s file chain %s back-link broken at %v", l.name, f, fb)
+				}
+				fb = fb.fnext
+			}
+			if fb != nil {
+				return fmt.Errorf("list %s file chain %s has extra block %v", l.name, f, fb)
+			}
+			fc := l.files[f]
+			if fc.tail != seq[len(seq)-1] {
+				return fmt.Errorf("list %s file chain %s tail mismatch", l.name, f)
+			}
+			if fc.bytes != fileBytes[f] || fc.dirty != fileDirty[f] {
+				return fmt.Errorf("list %s file chain %s accounting: bytes %d/%d dirty %d/%d",
+					l.name, f, fc.bytes, fileBytes[f], fc.dirty, fileDirty[f])
+			}
+		}
+		for f := range l.files {
+			if len(fileSeq[f]) == 0 {
+				return fmt.Errorf("list %s has stale file chain %s", l.name, f)
+			}
+		}
+	}
+	// Expiry queue: exactly the dirty blocks of both lists, Entry-ordered.
+	var eqN int
+	lastEntry := -1.0
+	for b := m.eqHead; b != nil; b = b.enext {
+		if !b.Dirty || !dirtySet[b] {
+			return fmt.Errorf("expiry queue holds non-dirty or foreign block %v", b)
+		}
+		if b.Entry < lastEntry {
+			return fmt.Errorf("expiry queue not sorted by entry time at %v", b)
+		}
+		lastEntry = b.Entry
+		if b.enext != nil && b.enext.eprev != b {
+			return fmt.Errorf("expiry queue back-link broken at %v", b)
+		}
+		eqN++
+	}
+	if eqN != dirtyCount {
+		return fmt.Errorf("expiry queue holds %d blocks, lists hold %d dirty", eqN, dirtyCount)
+	}
+	if (m.eqHead == nil) != (m.eqTail == nil) {
+		return fmt.Errorf("expiry queue endpoints inconsistent")
 	}
 	for f, v := range perFile {
 		if m.cached[f] != v {
@@ -591,6 +752,5 @@ func (m *Manager) CheckInvariants() error {
 	if m.anon < 0 {
 		return fmt.Errorf("negative anon: %d", m.anon)
 	}
-	_ = total
 	return nil
 }

@@ -112,3 +112,182 @@ func TestPropertyIOControllerConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Oracles: brute-force rescans of the main lists, independent of the
+// incremental index structures (dirty sublists, per-file chains, expiry
+// queue, per-file counters) they validate.
+
+func oracleEvictable(m *Manager, exclude string) int64 {
+	var n int64
+	m.inactive.Each(func(b *Block) bool {
+		if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
+			n += b.Size
+		}
+		return true
+	})
+	return n
+}
+
+func oracleNextDirtyLRU(m *Manager) *Block {
+	var found *Block
+	for _, l := range []*List{m.inactive, m.active} {
+		l.Each(func(b *Block) bool {
+			if b.Dirty {
+				found = b
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func oracleNextExpired(m *Manager, now float64) *Block {
+	var found *Block
+	for _, l := range []*List{m.inactive, m.active} {
+		l.Each(func(b *Block) bool {
+			if b.Dirty && now-b.Entry >= m.cfg.DirtyExpire {
+				found = b
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+func oracleFileBytes(l *List, file string) (bytes, clean int64) {
+	l.Each(func(b *Block) bool {
+		if b.File == file {
+			bytes += b.Size
+			if !b.Dirty {
+				clean += b.Size
+			}
+		}
+		return true
+	})
+	return
+}
+
+// TestPropertyIndexedStructures drives randomized operation sequences —
+// including invalidation and the open-for-write eviction heuristic — and
+// after every operation cross-checks the incrementally maintained index
+// structures against brute-force rescans of the main lists:
+//
+//   - Evictable (clean/evictable byte counters) vs a full inactive-list walk,
+//     for the empty exclusion, a random file, and an open-for-write file;
+//   - nextDirtyLRU (dirty-sublist front peeks) vs a full two-list scan;
+//   - nextExpired (expiry-queue head + dirty-sublist walk) vs a full scan;
+//   - per-file byte/clean counters vs filtered list walks;
+//   - CheckInvariants, which additionally verifies the dirty sublists,
+//     per-file chains and expiry queue block by block.
+func TestPropertyIndexedStructures(t *testing.T) {
+	files := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig(100000)
+		cfg.EvictExcludesOpenWrites = rng.Intn(2) == 0
+		m, err := NewManager(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := newFakeCaller()
+		var anonHeld int64
+		openWrites := map[string]int{}
+		for i := 0; i < 250; i++ {
+			c.now += rng.Float64() * 5
+			file := files[rng.Intn(len(files))]
+			amt := int64(1 + rng.Intn(4000))
+			switch rng.Intn(10) {
+			case 0:
+				if free := m.Free(); free > 0 {
+					if amt > free {
+						amt = free
+					}
+					m.AddToCache(file, amt, c.now)
+				}
+			case 1:
+				if free := m.Free(); free > 0 {
+					if amt > free {
+						amt = free
+					}
+					m.WriteToCache(c, file, amt)
+				}
+			case 2:
+				m.Evict(amt, file)
+			case 3:
+				m.Flush(c, amt)
+			case 4:
+				m.FlushExpired(c)
+			case 5:
+				if cached := m.Cached(file); cached > 0 {
+					m.CacheRead(c, file, 1+rng.Int63n(cached))
+				}
+			case 6:
+				m.InvalidateFile(file)
+			case 7:
+				if rng.Intn(2) == 0 || openWrites[file] == 0 {
+					m.OpenWrite(file)
+					openWrites[file]++
+				} else {
+					m.CloseWrite(file)
+					openWrites[file]--
+				}
+			case 8:
+				if m.Free() > 0 {
+					n := 1 + rng.Int63n(m.Free())
+					if m.UseAnon(n) == 0 {
+						anonHeld += n
+					} else {
+						m.ReleaseAnon(n)
+					}
+				}
+			case 9:
+				if anonHeld > 0 {
+					n := 1 + rng.Int63n(anonHeld)
+					m.ReleaseAnon(n)
+					anonHeld -= n
+				}
+			}
+			if err := m.CheckInvariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, i, err)
+				return false
+			}
+			for _, excl := range []string{"", file, files[rng.Intn(len(files))]} {
+				if got, want := m.Evictable(excl), oracleEvictable(m, excl); got != want {
+					t.Logf("seed %d op %d: Evictable(%q) = %d, oracle %d", seed, i, excl, got, want)
+					return false
+				}
+			}
+			_, gotDirty := m.nextDirtyLRU()
+			if want := oracleNextDirtyLRU(m); gotDirty != want {
+				t.Logf("seed %d op %d: nextDirtyLRU = %v, oracle %v", seed, i, gotDirty, want)
+				return false
+			}
+			_, gotExp := m.nextExpired(c.now)
+			if want := oracleNextExpired(m, c.now); gotExp != want {
+				t.Logf("seed %d op %d: nextExpired = %v, oracle %v", seed, i, gotExp, want)
+				return false
+			}
+			for _, l := range []*List{m.inactive, m.active} {
+				bytes, clean := oracleFileBytes(l, file)
+				if l.FileBytes(file) != bytes || l.FileCleanBytes(file) != clean {
+					t.Logf("seed %d op %d: list %s file %s counters %d/%d, oracle %d/%d",
+						seed, i, l.Name(), file, l.FileBytes(file), l.FileCleanBytes(file), bytes, clean)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
