@@ -7,6 +7,24 @@
 // kernel whenever they block (Sleep, Future.Get, Signal.Wait, ...), which
 // makes executions fully deterministic: events fire in (time, sequence)
 // order, and sequence numbers are allocated deterministically.
+//
+// # Complexity of the event core
+//
+// The kernel is sized for long simulations that schedule and cancel events
+// at every step (the fluid model retargets its "next completion" timer on
+// nearly every activity start/completion), so the event core is kept lean:
+//
+//	At/After, future time       O(log n) heap push
+//	At/After, current time      O(1) — same-time FIFO, bypasses the heap
+//	Timer.Cancel, queued event  O(log n) heap unlink via the tracked index
+//	                            (canceled events leave the queue at once
+//	                            instead of rotting until their deadline)
+//	Timer.Cancel, fired/stale   O(1) no-op (generation check)
+//	event dispatch              O(log n) pop, O(1) for same-time events
+//
+// event structs are recycled through a free list, so steady-state
+// scheduling does not allocate; a generation counter makes Timer handles
+// to recycled events harmlessly stale.
 package des
 
 import (
@@ -21,8 +39,20 @@ type event struct {
 	seq      uint64
 	fn       func()
 	canceled bool
-	index    int
+	// index is the position in the kernel's event heap, or one of the
+	// sentinels below for events outside the heap.
+	index int
+	// gen is bumped every time the event struct is released to the free
+	// list; Timer handles snapshot it so a handle to a recycled event
+	// cannot cancel the event's next incarnation.
+	gen uint64
+	k   *Kernel
 }
+
+const (
+	eventFired = -1 // fired, canceled, or sitting in the free list
+	eventFast  = -2 // queued in the same-time FIFO, not the heap
+)
 
 type eventHeap []*event
 
@@ -53,28 +83,54 @@ func (h *eventHeap) Pop() any {
 }
 
 // Timer is a handle on a scheduled event that can be canceled before it
-// fires. Canceling an already-fired timer is a no-op.
-type Timer struct{ ev *event }
+// fires. Canceling an already-fired timer is a no-op. It is a small value
+// (the zero value is an inert handle), so scheduling does not allocate
+// beyond the pooled event itself.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the timer's callback from running. Safe to call multiple
-// times.
-func (t *Timer) Cancel() {
-	if t != nil && t.ev != nil {
-		t.ev.canceled = true
+// Cancel prevents the timer's callback from running. A heap-queued event is
+// unlinked immediately (O(log n)), so cancel-heavy workloads do not grow
+// the event queue. Safe to call multiple times.
+func (t Timer) Cancel() {
+	if t.ev == nil {
+		return
+	}
+	e := t.ev
+	if e.gen != t.gen {
+		return // already fired or recycled
+	}
+	switch {
+	case e.index >= 0:
+		k := e.k
+		heap.Remove(&k.events, e.index)
+		k.release(e)
+	case e.index == eventFast:
+		// Same-time FIFO entries are about to fire anyway; flag them and
+		// let the dispatch loop skip and recycle them.
+		e.canceled = true
 	}
 }
 
 // Kernel is the simulation engine: a virtual clock plus an event queue.
 // The zero value is not usable; call NewKernel.
 type Kernel struct {
-	now     float64
-	seq     uint64
-	events  eventHeap
-	yield   chan struct{} // processes hand the token back on this channel
-	live    int           // spawned, not yet terminated
-	blocked int           // parked waiting for a wakeup event
-	parked  map[*Proc]struct{}
-	running bool
+	now    float64
+	seq    uint64
+	events eventHeap
+	// fastq holds events scheduled at the current virtual time: they fire
+	// before the clock can advance, so they never need heap ordering. The
+	// slice is consumed from fastHead and recycled when drained.
+	fastq    []*event
+	fastHead int
+	free     []*event
+	yield    chan struct{} // processes hand the token back on this channel
+	live     int           // spawned, not yet terminated
+	blocked  int           // parked waiting for a wakeup event
+	parked   map[*Proc]struct{}
+	running  bool
 }
 
 // NewKernel returns an empty simulation at time zero.
@@ -85,19 +141,50 @@ func NewKernel() *Kernel {
 // Now returns the current virtual time in seconds.
 func (k *Kernel) Now() float64 { return k.now }
 
-// At schedules fn to run at absolute virtual time t (clamped to now).
-func (k *Kernel) At(t float64, fn func()) *Timer {
-	if t < k.now {
-		t = k.now
+// newEvent takes an event struct from the free list (or allocates one) and
+// stamps it with the next sequence number.
+func (k *Kernel) newEvent(t float64, fn func()) *event {
+	var e *event
+	if n := len(k.free); n > 0 {
+		e = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		e = &event{k: k}
 	}
-	e := &event{t: t, seq: k.seq, fn: fn}
+	e.t = t
+	e.seq = k.seq
+	e.fn = fn
+	e.canceled = false
 	k.seq++
+	return e
+}
+
+// release returns a fired or canceled event to the free list, invalidating
+// outstanding Timer handles via the generation counter.
+func (k *Kernel) release(e *event) {
+	e.fn = nil
+	e.index = eventFired
+	e.gen++
+	k.free = append(k.free, e)
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// Events at the current time bypass the heap entirely.
+func (k *Kernel) At(t float64, fn func()) Timer {
+	if t <= k.now {
+		e := k.newEvent(k.now, fn)
+		e.index = eventFast
+		k.fastq = append(k.fastq, e)
+		return Timer{ev: e, gen: e.gen}
+	}
+	e := k.newEvent(t, fn)
 	heap.Push(&k.events, e)
-	return &Timer{ev: e}
+	return Timer{ev: e, gen: e.gen}
 }
 
 // After schedules fn to run d seconds from now.
-func (k *Kernel) After(d float64, fn func()) *Timer {
+func (k *Kernel) After(d float64, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -129,24 +216,57 @@ func (k *Kernel) RunUntil(horizon float64) error {
 	}
 	k.running = true
 	defer func() { k.running = false }()
-	for k.events.Len() > 0 {
-		next := k.events[0]
+	for {
+		// Peek the earliest event across the same-time FIFO and the heap.
+		// FIFO entries fire at k.now; a heap event also due at k.now fires
+		// first only if it was scheduled earlier (smaller seq).
+		var next *event
+		fromHeap := false
+		if k.fastHead < len(k.fastq) {
+			next = k.fastq[k.fastHead]
+			if len(k.events) > 0 && k.events[0].t <= next.t && k.events[0].seq < next.seq {
+				next = k.events[0]
+				fromHeap = true
+			}
+		} else if len(k.events) > 0 {
+			next = k.events[0]
+			fromHeap = true
+		} else {
+			break
+		}
 		if horizon >= 0 && next.t > horizon {
 			k.now = horizon
 			return nil
 		}
-		heap.Pop(&k.events)
+		if fromHeap {
+			heap.Pop(&k.events)
+		} else {
+			k.fastq[k.fastHead] = nil
+			k.fastHead++
+			if k.fastHead == len(k.fastq) {
+				k.fastq = k.fastq[:0]
+				k.fastHead = 0
+			}
+		}
 		if next.canceled {
+			k.release(next)
 			continue
 		}
 		k.now = next.t
-		next.fn()
+		fn := next.fn
+		k.release(next)
+		fn()
 	}
 	if k.blocked > 0 {
 		return &ErrDeadlock{Blocked: k.parkedNames()}
 	}
 	return nil
 }
+
+// QueueLen reports the number of queued events (heap plus same-time FIFO),
+// including not-yet-collected canceled same-time entries. It exists for
+// tests and diagnostics.
+func (k *Kernel) QueueLen() int { return len(k.events) + len(k.fastq) - k.fastHead }
 
 func (k *Kernel) parkedNames() []string {
 	var names []string

@@ -141,7 +141,7 @@ type Signal struct {
 
 type sigWaiter struct {
 	p        *Proc
-	timer    *Timer
+	timer    Timer // zero value when waiting without timeout
 	done     bool
 	signaled bool
 }

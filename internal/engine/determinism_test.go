@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// determinismRun is one full multi-process, multi-host experiment: three
+// client applications hammer an NFS mount (reads and writes share the link,
+// the server disk and the server cache) while a fourth application works
+// the server's local disk, with memory sampling on both hosts. It returns
+// every observable the simulation produces.
+type determinismOutcome struct {
+	Ops            []trace.Op
+	ClientMem      []trace.MemPoint
+	ServerMem      []trace.MemPoint
+	ClientSnap     core.Stats
+	ServerSnap     core.Stats
+	ClientByFile   map[string]int64
+	ServerByFile   map[string]int64
+	Makespan       float64
+	ClientSnapLogs []trace.CacheSnapshot
+}
+
+func determinismRun(t *testing.T) determinismOutcome {
+	t.Helper()
+	r := newNFSRig(t)
+	if err := r.client.MountRemote(r.part, r.link, MountOpts{
+		SrvMgr: r.srvMgr, SrvMem: r.server.Host.Memory(), Chunk: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"in0", "in1", "in2", "local"} {
+		if _, err := r.part.CreateSized(name, 120); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.sim.NS.Place(name, r.part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.client.EnableMemTrace(0.5)
+	r.server.EnableMemTrace(0.5)
+	for i := 0; i < 3; i++ {
+		i := i
+		r.sim.SpawnApp(r.client, i, "client-app", func(a *App) error {
+			in := []string{"in0", "in1", "in2"}[i]
+			if err := a.ReadFile(in, "Read 1"); err != nil {
+				return err
+			}
+			a.Compute(0.3+0.1*float64(i), "Compute 1")
+			if err := a.WriteFile("out", 80, r.part, "Write 1"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			return a.ReadFile(in, "Read 2")
+		})
+	}
+	r.sim.SpawnApp(r.server, 3, "server-app", func(a *App) error {
+		if err := a.WriteFile("srvout", 200, r.part, "Write 1"); err != nil {
+			return err
+		}
+		a.Compute(0.7, "Compute 1")
+		return a.ReadFile("local", "Read 1")
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.sim.CheckSubstrate(); err != nil {
+		t.Fatal(err)
+	}
+	r.client.SnapshotCache("final", r.sim.K.Now())
+	return determinismOutcome{
+		Ops:            r.sim.Log.Ops,
+		ClientMem:      r.client.MemTrace.Points,
+		ServerMem:      r.server.MemTrace.Points,
+		ClientSnap:     r.client.Model.Snapshot(),
+		ServerSnap:     r.server.Model.Snapshot(),
+		ClientByFile:   r.client.Model.CachedByFile(),
+		ServerByFile:   r.server.Model.CachedByFile(),
+		Makespan:       r.sim.Makespan(),
+		ClientSnapLogs: r.client.Snaps.Snaps,
+	}
+}
+
+// TestRunDeterminism runs the same concurrent NFS experiment twice and
+// requires the two runs to be indistinguishable: identical operation
+// sequences (order, timestamps, and bytes of every logged op), identical
+// memory-trace samples, and identical final cache snapshots. This is the
+// substrate's determinism contract: event ordering and fluid rates may not
+// depend on anything but the model inputs.
+func TestRunDeterminism(t *testing.T) {
+	a := determinismRun(t)
+	b := determinismRun(t)
+	if len(a.Ops) == 0 {
+		t.Fatal("experiment logged no operations")
+	}
+	if !reflect.DeepEqual(a.Ops, b.Ops) {
+		for i := range a.Ops {
+			if i < len(b.Ops) && a.Ops[i] != b.Ops[i] {
+				t.Fatalf("op %d differs between runs:\n  %+v\n  %+v", i, a.Ops[i], b.Ops[i])
+			}
+		}
+		t.Fatalf("op logs differ in length: %d vs %d", len(a.Ops), len(b.Ops))
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("runs differ beyond the op log:\nrun1: %+v\nrun2: %+v", a, b)
+	}
+}

@@ -265,3 +265,9 @@ func (s *Simulation) Run() error {
 
 // Makespan returns the completion time of the last logged operation.
 func (s *Simulation) Makespan() float64 { return s.Log.Makespan() }
+
+// CheckSubstrate verifies the fluid solver's incremental index structures
+// and rates against a full rescan and a full progressive-filling solve
+// (fluid.System.CheckInvariants). Tests call it mid-run and after Run,
+// symmetric with core.Manager.CheckInvariants for the cache model.
+func (s *Simulation) CheckSubstrate() error { return s.Sys.CheckInvariants() }

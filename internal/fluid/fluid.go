@@ -3,16 +3,48 @@
 // determined by max-min fair sharing over one or more capacity-constrained
 // resources (disk channels, memory channels, network links).
 //
-// Whenever an activity starts or completes, all rates are recomputed with a
+// Whenever an activity starts or completes, rates are recomputed with a
 // progressive-filling algorithm and the next completion event is
 // rescheduled. This is the bandwidth-sharing model the paper relies on:
 // "These models account for bandwidth sharing between concurrent memory or
 // disk accesses" (§III.A).
+//
+// # Complexity of the solver
+//
+// Rates only change for activities that share a resource — directly or
+// transitively — with the activity that started or completed, so each
+// resource keeps the list of activities using it and progressive filling
+// runs only over that connected component of the resource↔activity graph.
+// Components whose membership did not change keep their cached solution:
+// max-min rates depend only on membership (capacities, coefficients,
+// bounds), not on remaining work or time, so re-solving an untouched
+// component would reproduce the rates it already has. Independent disks,
+// hosts, and NFS mounts therefore stop paying for each other's events.
+//
+// With A live activities and an affected component of m activities over
+// r resources needing k filling rounds (k ≤ r+1), each activity start or
+// completion costs:
+//
+//	elapsed-work advance + completion sweep   O(A) one pass
+//	component discovery (BFS over lists)      O(m)
+//	progressive filling                       O(k·(r+m))  [was O(k·(R+A))
+//	                                          over ALL resources/activities]
+//	completion-timer retarget                 O(A) min scan + O(log E) cancel
+//	Utilization                               O(1) — per-resource allocated
+//	                                          counters refreshed at solve
+//
+// The two O(A) passes are deliberate: remaining-work decrements must be
+// applied at every event instant, in activity start order, so that float
+// accumulation — and with it every completion time and event ordering —
+// stays bit-identical to the full-solve implementation. solveOracle (the
+// retained full progressive filling) is the test oracle: CheckInvariants
+// cross-checks the incremental solver's rates against it bit for bit.
 package fluid
 
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/des"
 )
@@ -24,9 +56,25 @@ type Resource struct {
 	capacity float64
 	id       int
 
-	// scratch state used during recompute
+	// acts lists the live activities using this resource (unordered; each
+	// entry records which Use slot points back here so removal is O(1)).
+	acts []resUse
+	// allocated is Σ coef·rate over acts, refreshed whenever this
+	// resource's component is re-solved; it makes Utilization O(1).
+	allocated float64
+	// mark is the component-discovery epoch stamp.
+	mark uint64
+
+	// scratch state used during progressive filling
 	capLeft float64
 	load    float64
+}
+
+// resUse is one entry of a resource's activity list: activity a's uses[useIdx]
+// points at this resource.
+type resUse struct {
+	a      *Activity
+	useIdx int
 }
 
 // Name returns the resource name.
@@ -47,13 +95,16 @@ type Use struct {
 type Activity struct {
 	sys       *System
 	uses      []Use
+	posIn     []int // posIn[i] is this activity's index in uses[i].Res.acts
+	seq       uint64
 	work0     float64
 	remaining float64
 	rate      float64
 	bound     float64 // per-activity rate cap (≤0 means unbounded)
 	done      *des.Future[struct{}]
 	start     float64
-	frozen    bool // scratch flag during recompute
+	frozen    bool   // scratch flag during progressive filling
+	mark      uint64 // component-discovery epoch stamp
 }
 
 // Await parks p until the activity completes.
@@ -75,14 +126,30 @@ func (a *Activity) StartTime() float64 { return a.start }
 type System struct {
 	k          *des.Kernel
 	resources  []*Resource
-	acts       []*Activity
+	acts       []*Activity // live activities, in start order
+	actSeq     uint64
 	lastUpdate float64
-	next       *des.Timer
+	next       des.Timer
+	onTimer    func() // bound once; rescheduled with a fresh event each time
+
+	// epoch stamps component discovery; scratch buffers are reused across
+	// solves to keep the steady state allocation-free.
+	epoch    uint64
+	seedRes  []*Resource
+	compActs []*Activity
+	compRes  []*Resource
 }
 
 // NewSystem returns an empty fluid system bound to kernel k.
 func NewSystem(k *des.Kernel) *System {
-	return &System{k: k}
+	s := &System{k: k}
+	s.onTimer = func() {
+		s.next = des.Timer{}
+		seeds := s.advanceAndComplete()
+		s.solveAffected(seeds, nil)
+		s.scheduleNext()
+	}
+	return s
 }
 
 // Kernel returns the DES kernel the system schedules on.
@@ -124,9 +191,27 @@ func (s *System) Start(work float64, bound float64, uses ...Use) *Activity {
 		s.k.At(s.k.Now(), func() { a.done.Set(struct{}{}) })
 		return a
 	}
-	s.advance()
+	seeds := s.advanceAndComplete()
+	if a.remaining <= a.completionEps() {
+		// Sub-epsilon work: completes within the same recompute, after any
+		// activities the advance pass just finished, exactly like the
+		// full-solve completion sweep did.
+		a.remaining = 0
+		a.done.Set(struct{}{})
+		s.solveAffected(seeds, nil)
+		s.scheduleNext()
+		return a
+	}
+	a.seq = s.actSeq
+	s.actSeq++
+	a.posIn = make([]int, len(uses))
+	for i, u := range uses {
+		a.posIn[i] = len(u.Res.acts)
+		u.Res.acts = append(u.Res.acts, resUse{a: a, useIdx: i})
+	}
 	s.acts = append(s.acts, a)
-	s.recompute()
+	s.solveAffected(seeds, a)
+	s.scheduleNext()
 	return a
 }
 
@@ -135,39 +220,135 @@ func (s *System) Transfer(bytes float64, r *Resource) *Activity {
 	return s.Start(bytes, 0, Use{Res: r, Coef: 1})
 }
 
-// advance applies elapsed time to every in-flight activity's remaining work.
-func (s *System) advance() {
-	now := s.k.Now()
-	dt := now - s.lastUpdate
-	if dt > 0 {
-		for _, a := range s.acts {
-			a.remaining -= a.rate * dt
-			if a.remaining < 0 {
-				a.remaining = 0
-			}
-		}
-	}
-	s.lastUpdate = now
-}
-
 // completionEps returns the absolute remaining-work threshold under which an
 // activity is considered finished (guards float rounding).
 func (a *Activity) completionEps() float64 {
 	return math.Max(1e-6, 1e-9*a.work0)
 }
 
-// recompute runs progressive filling, completes finished activities, and
-// schedules the next completion event.
-func (s *System) recompute() {
-	// Complete anything at (or under) the epsilon.
-	s.completeFinished()
+// advanceAndComplete applies elapsed time to every in-flight activity's
+// remaining work (one pass, in start order — the accumulation order is part
+// of the model's determinism contract) and resolves the activities that
+// reached their completion epsilon. It returns the resources the completed
+// activities were using, as seeds for component re-solving. The returned
+// slice is scratch owned by s, valid until the next call.
+func (s *System) advanceAndComplete() []*Resource {
+	now := s.k.Now()
+	dt := now - s.lastUpdate
+	s.lastUpdate = now
+	seeds := s.seedRes[:0]
+	live := s.acts[:0]
+	for _, a := range s.acts {
+		if dt > 0 {
+			a.remaining -= a.rate * dt
+			if a.remaining < 0 {
+				a.remaining = 0
+			}
+		}
+		if a.remaining <= a.completionEps() {
+			a.remaining = 0
+			a.rate = 0
+			s.unregister(a)
+			for _, u := range a.uses {
+				seeds = append(seeds, u.Res)
+			}
+			a.done.Set(struct{}{})
+		} else {
+			live = append(live, a)
+		}
+	}
+	// Zero the tail so finished activities can be collected.
+	for i := len(live); i < len(s.acts); i++ {
+		s.acts[i] = nil
+	}
+	s.acts = live
+	s.seedRes = seeds
+	return seeds
+}
 
-	// Progressive filling over the live set.
-	for _, r := range s.resources {
+// unregister removes a from the activity list of every resource it uses
+// (O(1) swap-removal per use via the tracked positions).
+func (s *System) unregister(a *Activity) {
+	for i := len(a.uses) - 1; i >= 0; i-- {
+		r := a.uses[i].Res
+		p := a.posIn[i]
+		last := len(r.acts) - 1
+		moved := r.acts[last]
+		r.acts[p] = moved
+		moved.a.posIn[moved.useIdx] = p
+		r.acts[last] = resUse{}
+		r.acts = r.acts[:last]
+	}
+}
+
+// solveAffected re-runs progressive filling over the connected component(s)
+// of the resource↔activity graph reachable from the seed resources (those
+// touched by completions) and the optional just-started activity. Rates,
+// and the per-resource allocated counters, are untouched outside the
+// affected subgraph: max-min rates depend only on component membership, so
+// unaffected components keep their cached solution.
+func (s *System) solveAffected(seedRes []*Resource, started *Activity) {
+	if len(seedRes) == 0 && started == nil {
+		return
+	}
+	s.epoch++
+	epoch := s.epoch
+	compActs := s.compActs[:0]
+	compRes := s.compRes[:0]
+	if started != nil && started.mark != epoch {
+		started.mark = epoch
+		compActs = append(compActs, started)
+		for _, u := range started.uses {
+			if u.Res.mark != epoch {
+				u.Res.mark = epoch
+				compRes = append(compRes, u.Res)
+			}
+		}
+	}
+	for _, r := range seedRes {
+		if r.mark != epoch {
+			r.mark = epoch
+			compRes = append(compRes, r)
+		}
+	}
+	// Breadth-first expansion: resources pull in their users, users pull in
+	// their other resources. compRes doubles as the work queue.
+	for i := 0; i < len(compRes); i++ {
+		for _, ru := range compRes[i].acts {
+			a := ru.a
+			if a.mark == epoch {
+				continue
+			}
+			a.mark = epoch
+			compActs = append(compActs, a)
+			for _, u := range a.uses {
+				if u.Res.mark != epoch {
+					u.Res.mark = epoch
+					compRes = append(compRes, u.Res)
+				}
+			}
+		}
+	}
+	if len(compActs) == 0 {
+		// Only drained resources were touched: zero their allocation.
+		for _, r := range compRes {
+			r.allocated = 0
+		}
+		s.releaseScratch(compActs, compRes)
+		return
+	}
+	// Progressive filling iterates activities in start order and resources
+	// in registration order so every float operation sequence matches the
+	// full solve restricted to this component (see solveOracle).
+	slices.SortFunc(compActs, cmpActSeq)
+	slices.SortFunc(compRes, cmpResID)
+
+	for _, r := range compRes {
 		r.capLeft = r.capacity
+		r.allocated = 0
 	}
 	unfrozen := 0
-	for _, a := range s.acts {
+	for _, a := range compActs {
 		a.frozen = false
 		a.rate = 0
 		unfrozen++
@@ -176,10 +357,10 @@ func (s *System) recompute() {
 		// Recompute per-resource loads from the unfrozen set each round:
 		// incremental subtraction accumulates float residue that can leave a
 		// resource "loaded" with no live users, which would stall the loop.
-		for _, r := range s.resources {
+		for _, r := range compRes {
 			r.load = 0
 		}
-		for _, a := range s.acts {
+		for _, a := range compActs {
 			if a.frozen {
 				continue
 			}
@@ -191,7 +372,7 @@ func (s *System) recompute() {
 		// activity bounds.
 		share := math.Inf(1)
 		var bres *Resource
-		for _, r := range s.resources {
+		for _, r := range compRes {
 			if r.load <= 0 {
 				continue
 			}
@@ -202,7 +383,7 @@ func (s *System) recompute() {
 			}
 		}
 		bounded := false
-		for _, a := range s.acts {
+		for _, a := range compActs {
 			if !a.frozen && a.bound > 0 && a.bound < share {
 				share = a.bound
 				bounded = true
@@ -213,7 +394,7 @@ func (s *System) recompute() {
 		}
 		// Freeze the limiting set at `share`.
 		progress := false
-		for _, a := range s.acts {
+		for _, a := range compActs {
 			if a.frozen {
 				continue
 			}
@@ -240,42 +421,44 @@ func (s *System) recompute() {
 				if u.Res.capLeft < 0 {
 					u.Res.capLeft = 0
 				}
+				u.Res.allocated += u.Coef * share
 			}
 		}
 		if !progress {
 			panic("fluid: progressive filling made no progress")
 		}
 	}
-	s.scheduleNext()
+	s.releaseScratch(compActs, compRes)
 }
 
-// completeFinished resolves all activities whose remaining work is within
-// epsilon, preserving start order.
-func (s *System) completeFinished() {
-	live := s.acts[:0]
-	for _, a := range s.acts {
-		if a.remaining <= a.completionEps() {
-			a.remaining = 0
-			a.rate = 0
-			a.done.Set(struct{}{})
-		} else {
-			live = append(live, a)
-		}
+func cmpActSeq(a, b *Activity) int {
+	if a.seq < b.seq {
+		return -1
 	}
-	// Zero the tail so finished activities can be collected.
-	for i := len(live); i < len(s.acts); i++ {
-		s.acts[i] = nil
+	return 1 // seqs are unique; equality cannot occur
+}
+
+func cmpResID(a, b *Resource) int { return a.id - b.id }
+
+// releaseScratch hands the component buffers back for reuse, dropping the
+// activity pointers so completed activities stay collectable.
+func (s *System) releaseScratch(compActs []*Activity, compRes []*Resource) {
+	for i := range compActs {
+		compActs[i] = nil
 	}
-	s.acts = live
+	for i := range compRes {
+		compRes[i] = nil
+	}
+	s.compActs, s.compRes = compActs[:0], compRes[:0]
 }
 
 // scheduleNext (re)schedules the single pending completion event at the
-// earliest activity finish time.
+// earliest activity finish time. The previous timer is unlinked from the
+// event heap immediately (des.Timer.Cancel), so retargeting on every event
+// does not grow the queue.
 func (s *System) scheduleNext() {
-	if s.next != nil {
-		s.next.Cancel()
-		s.next = nil
-	}
+	s.next.Cancel() // no-op on the zero Timer or an already-fired event
+	s.next = des.Timer{}
 	soonest := math.Inf(1)
 	for _, a := range s.acts {
 		if a.rate <= 0 {
@@ -289,25 +472,14 @@ func (s *System) scheduleNext() {
 	if math.IsInf(soonest, 1) {
 		return
 	}
-	s.next = s.k.After(soonest, func() {
-		s.next = nil
-		s.advance()
-		s.recompute()
-	})
+	s.next = s.k.After(soonest, s.onTimer)
 }
 
 // InFlight returns the number of live activities (for tests/diagnostics).
 func (s *System) InFlight() int { return len(s.acts) }
 
 // Utilization returns the fraction of r's capacity currently allocated.
+// O(1): reads the allocated counter maintained by the component solver.
 func (s *System) Utilization(r *Resource) float64 {
-	used := 0.0
-	for _, a := range s.acts {
-		for _, u := range a.uses {
-			if u.Res == r {
-				used += u.Coef * a.rate
-			}
-		}
-	}
-	return used / r.capacity
+	return r.allocated / r.capacity
 }

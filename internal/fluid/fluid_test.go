@@ -339,3 +339,159 @@ func TestNoResourceNoBoundPanics(t *testing.T) {
 	}()
 	s.Start(100, 0)
 }
+
+// Property: under randomized start/complete churn — random resource
+// subsets, coefficients, bounds, and staggered timing — every index
+// structure the incremental solver maintains stays consistent, and every
+// live rate matches the full progressive-filling oracle bit for bit.
+// CheckInvariants is probed mid-flight at random instants, not just at
+// quiescence.
+func TestPropertyInvariantsUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := des.NewKernel()
+		s := NewSystem(k)
+		nres := 1 + rng.Intn(6)
+		res := make([]*Resource, nres)
+		for i := range res {
+			res[i] = s.NewResource("r", 10+rng.Float64()*1000)
+		}
+		var invErr error
+		check := func() {
+			if invErr == nil {
+				invErr = s.CheckInvariants()
+			}
+		}
+		nproc := 3 + rng.Intn(10)
+		for i := 0; i < nproc; i++ {
+			delay := rng.Float64() * 5
+			nops := 1 + rng.Intn(3)
+			plans := make([][]Use, nops)
+			bounds := make([]float64, nops)
+			works := make([]float64, nops)
+			for j := range plans {
+				var uses []Use
+				for ri, r := range res {
+					if rng.Intn(3) == 0 || (ri == nres-1 && len(uses) == 0 && rng.Intn(2) == 0) {
+						uses = append(uses, Use{r, 0.5 + rng.Float64()*2})
+					}
+				}
+				if len(uses) == 0 || rng.Intn(4) == 0 {
+					bounds[j] = 5 + rng.Float64()*100 // sometimes bound-only or bounded
+				}
+				works[j] = 1 + rng.Float64()*2000
+				plans[j] = uses
+			}
+			k.Spawn("app", func(p *des.Proc) {
+				p.Sleep(delay)
+				for j := range plans {
+					s.Start(works[j], bounds[j], plans[j]...).Await(p)
+				}
+			})
+		}
+		k.Spawn("monitor", func(p *des.Proc) {
+			for i := 0; i < 25 && invErr == nil; i++ {
+				p.Sleep(rng.Float64() * 2)
+				check()
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		check()
+		if invErr != nil {
+			t.Logf("seed %d: invariants: %v", seed, invErr)
+			return false
+		}
+		if s.InFlight() != 0 {
+			t.Logf("seed %d: %d activities still in flight", seed, s.InFlight())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The O(1) Utilization counter must agree with a fresh scan over the live
+// activity set (the pre-index implementation) on every resource, including
+// resources that just drained to zero.
+func TestUtilizationMatchesScan(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	res := make([]*Resource, 4)
+	for i := range res {
+		res[i] = s.NewResource("r", 50+float64(40*i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	checkAll := func() {
+		for _, r := range res {
+			scan := 0.0
+			for _, a := range s.acts {
+				for _, u := range a.uses {
+					if u.Res == r {
+						scan += u.Coef * a.rate
+					}
+				}
+			}
+			if !almost(s.Utilization(r), scan/r.capacity, 1e-9) {
+				t.Fatalf("Utilization(%s) = %v, scan says %v", r.name, s.Utilization(r), scan/r.capacity)
+			}
+		}
+	}
+	k.Spawn("driver", func(p *des.Proc) {
+		var acts []*Activity
+		for i := 0; i < 12; i++ {
+			var uses []Use
+			for _, r := range res {
+				if rng.Intn(2) == 0 {
+					uses = append(uses, Use{r, 0.5 + rng.Float64()})
+				}
+			}
+			if len(uses) == 0 {
+				uses = append(uses, Use{res[i%len(res)], 1})
+			}
+			acts = append(acts, s.Start(500+rng.Float64()*500, 0, uses...))
+			checkAll()
+			p.Sleep(rng.Float64())
+			checkAll()
+		}
+		for _, a := range acts {
+			a.Await(p)
+		}
+		checkAll() // everything drained: all counters must be exactly zero
+		for _, r := range res {
+			if s.Utilization(r) != 0 {
+				t.Fatalf("drained resource %s has utilization %v", r.name, s.Utilization(r))
+			}
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A started activity must be solved together with the existing users of its
+// resources, and a completion must re-solve everything transitively
+// connected — including chains bridged by multi-resource activities.
+func TestComponentBridging(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	r1 := s.NewResource("r1", 100)
+	r2 := s.NewResource("r2", 100)
+	a := s.Start(1e9, 0, Use{r1, 1})
+	b := s.Start(1e9, 0, Use{r2, 1})
+	if !almost(a.Rate(), 100, 1e-9) || !almost(b.Rate(), 100, 1e-9) {
+		t.Fatalf("isolated rates %v/%v, want 100/100", a.Rate(), b.Rate())
+	}
+	// Bridge the two components: all three now share one max-min problem.
+	c := s.Start(1e9, 0, Use{r1, 1}, Use{r2, 1})
+	if !almost(a.Rate(), 50, 1e-9) || !almost(b.Rate(), 50, 1e-9) || !almost(c.Rate(), 50, 1e-9) {
+		t.Fatalf("bridged rates %v/%v/%v, want 50/50/50", a.Rate(), b.Rate(), c.Rate())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
