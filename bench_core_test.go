@@ -138,9 +138,30 @@ func BenchmarkCoreInvalidateFragmented(b *testing.B) {
 	}
 }
 
-// BenchmarkCoreMixedChurn interleaves writes, fragmented reads, targeted
-// flushes and invalidations on a 100k-block cache — the sustained-churn
-// profile of a long simulation with many concurrent tasks.
+// mixedChurnStep is iteration i of the sustained-churn workload: writes,
+// fragmented reads, targeted flushes and invalidations interleaved. Shared
+// by BenchmarkCoreMixedChurn and BenchmarkPolicyMixedChurn so the workloads
+// they compare cannot drift apart.
+func mixedChurnStep(m *core.Manager, c *benchCaller, now float64, i int) {
+	c.now = now + float64(i) + 1
+	switch i % 4 {
+	case 0:
+		m.WriteToCache(c, fmt.Sprintf("w%d", i%64), coreBenchBlock)
+	case 1:
+		f := fmt.Sprintf("f%d", i%coreBenchFiles)
+		if cached := m.Cached(f); cached > 0 {
+			m.CacheRead(c, f, cached)
+		}
+	case 2:
+		m.Flush(c, 2*coreBenchBlock)
+	case 3:
+		m.InvalidateFile(fmt.Sprintf("w%d", (i+2)%64))
+	}
+}
+
+// BenchmarkCoreMixedChurn runs the mixed-churn workload on a 100k-block
+// cache — the sustained profile of a long simulation with many concurrent
+// tasks.
 func BenchmarkCoreMixedChurn(b *testing.B) {
 	c := &benchCaller{}
 	b.ReportAllocs()
@@ -148,19 +169,6 @@ func BenchmarkCoreMixedChurn(b *testing.B) {
 	now := buildFragmentedCache(b, m, c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.now = now + float64(i) + 1
-		switch i % 4 {
-		case 0:
-			m.WriteToCache(c, fmt.Sprintf("w%d", i%64), coreBenchBlock)
-		case 1:
-			f := fmt.Sprintf("f%d", i%coreBenchFiles)
-			if cached := m.Cached(f); cached > 0 {
-				m.CacheRead(c, f, cached)
-			}
-		case 2:
-			m.Flush(c, 2*coreBenchBlock)
-		case 3:
-			m.InvalidateFile(fmt.Sprintf("w%d", (i+2)%64))
-		}
+		mixedChurnStep(m, c, now, i)
 	}
 }

@@ -1,0 +1,87 @@
+// BenchmarkPolicy*: the Memory Manager hot paths of bench_core_test.go run
+// once per registered replacement policy on the same 100k-block fragmented
+// cache, plus an eviction storm that keeps the cache at capacity. Two things
+// are watched here:
+//
+//   - the default LRU sub-benchmarks must stay within noise of the
+//     pre-policy-seam BenchmarkCore* numbers (the interface indirection may
+//     not tax the hot paths);
+//   - every alternative policy must stay in the same complexity class —
+//     O(touched blocks), never a full-cache walk.
+//
+// CI runs them with -benchtime=1x as a smoke test; run them with the default
+// benchtime for real numbers.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func newPolicyBenchManager(tb testing.TB, policy string, totalMem int64) *core.Manager {
+	cfg := core.DefaultConfig(totalMem)
+	cfg.Policy = policy
+	m, err := core.NewManager(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkPolicyMixedChurn is BenchmarkCoreMixedChurn per policy: the same
+// shared mixedChurnStep workload on a 100k-block cache — the
+// sustained-churn profile of a long simulation.
+func BenchmarkPolicyMixedChurn(b *testing.B) {
+	for _, policy := range core.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			c := &benchCaller{}
+			b.ReportAllocs()
+			m := newPolicyBenchManager(b, policy, 1<<42)
+			now := buildFragmentedCache(b, m, c)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mixedChurnStep(m, c, now, i)
+			}
+		})
+	}
+}
+
+// BenchmarkPolicyEvictionStorm measures sustained eviction pressure per
+// policy: the cache is filled to capacity with 100k fragmented blocks, then
+// every insertion of a new block must evict a victim first. This is the path
+// where the policies genuinely differ (LRU escalation, CLOCK's rotating
+// hand, LFU's bucket scan), so each must hold O(touched) on its own victim
+// structure.
+func BenchmarkPolicyEvictionStorm(b *testing.B) {
+	n := int64(coreBenchFiles * coreBenchPerFile)
+	for _, policy := range core.PolicyNames() {
+		b.Run(policy, func(b *testing.B) {
+			c := &benchCaller{}
+			b.ReportAllocs()
+			// RAM sized to exactly the warm cache: every further insertion
+			// evicts.
+			m := newPolicyBenchManager(b, policy, n*coreBenchBlock)
+			now := buildFragmentedCache(b, m, c)
+			// Touch a quarter of the files so promotion state (active-list
+			// membership, reference bits, frequency buckets) is populated
+			// and victims are non-trivial to find.
+			for j := 0; j < coreBenchFiles/4; j++ {
+				c.now = now + float64(j)
+				f := fmt.Sprintf("f%d", j*4)
+				if cached := m.Cached(f); cached > 0 {
+					m.CacheRead(c, f, cached)
+				}
+			}
+			now += float64(coreBenchFiles / 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.now = now + float64(i) + 1
+				if d := m.AddToCache(fmt.Sprintf("s%d", i%256), coreBenchBlock, c.now); d != 0 {
+					b.Fatalf("storm insert deficit %d", d)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 //	experiments -exp1 -sizes 20,100  # just Exp 1 at selected sizes (GB)
 //	experiments -exp2 -exp3 -reps 5  # concurrency experiments
 //	experiments -fig8 -ablations
+//	experiments -policies            # cache-policy ablation (lru/clock/fifo/lfu)
 package main
 
 import (
@@ -43,6 +44,7 @@ func Main(args []string, stdout io.Writer) int {
 		exp4      = fs.Bool("exp4", false, "Exp 4: Nighres workflow (Fig 6)")
 		fig8      = fs.Bool("fig8", false, "Fig 8: simulation-time scaling")
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
+		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
 		tables    = fs.Bool("tables", false, "print Tables I-III")
 		profiles  = fs.Bool("profiles", false, "print Fig 4b memory profiles (with -exp1)")
 		contents  = fs.Bool("contents", false, "print Fig 4c cache contents (with -exp1)")
@@ -53,7 +55,7 @@ func Main(args []string, stdout io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables) {
+	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies) {
 		*all = true
 	}
 	if *all {
@@ -157,6 +159,19 @@ func Main(args []string, stdout io.Writer) int {
 		}
 		res.Render(stdout)
 		fmt.Fprintln(stdout)
+	}
+	if *policies {
+		res, err := exp.RunPolicyAblation(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: policies: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+		if err := exp.SaveCSV(*outDir, "policy_ablation.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
 	}
 	return 0
 }

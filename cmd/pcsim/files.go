@@ -15,8 +15,9 @@ import (
 
 // runFromFiles executes pcsim in description-file mode: a JSON platform,
 // and either a JSON workflow or the built-in synthetic pipeline placed on
-// the platform's first host/partition.
-func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec float64, stdout io.Writer) int {
+// the platform's first host/partition. A non-empty policy overrides every
+// host's "cachePolicy" setting.
+func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec float64, policy string, stdout io.Writer) int {
 	if platPath == "" {
 		fmt.Fprintln(os.Stderr, "pcsim: -workflow requires -platform")
 		return 2
@@ -41,6 +42,11 @@ func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec fl
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
 		return 1
+	}
+	if policy != "" {
+		for i := range cfg.Hosts {
+			cfg.Hosts[i].CachePolicy = policy
+		}
 	}
 	sim := engine.NewSimulation()
 	plat, err := sim.BuildPlatform(cfg, mode, chunk, 0)

@@ -8,6 +8,7 @@
 //	pcsim -size 20GB -mode writeback
 //	pcsim -size 3GB -mode cacheless -instances 8
 //	pcsim -size 10GB -mode writeback -ram 32GiB -dirty-ratio 0.4 -csv mem.csv
+//	pcsim -size 20GB -mode writeback -ram 32GiB -policy clock
 //	pcsim -platform cluster.json -workflow nighres.json
 package main
 
@@ -40,6 +41,7 @@ func Main(args []string, stdout io.Writer) int {
 		chunkStr   = fs.String("chunk", "100MB", "I/O chunk size")
 		dirtyRatio = fs.Float64("dirty-ratio", 0.20, "vm.dirty_ratio as a fraction")
 		expire     = fs.Float64("dirty-expire", 30, "dirty expiry seconds")
+		policyStr  = fs.String("policy", "", "cache replacement policy (default: lru; also clock, fifo, lfu)")
 		memBW      = fs.Float64("mem-bw", 4812, "memory bandwidth (MBps, symmetric)")
 		diskBW     = fs.Float64("disk-bw", 465, "disk bandwidth (MBps, symmetric)")
 		cpuSec     = fs.Float64("cpu", -1, "injected CPU seconds per task (default: Table I fit)")
@@ -50,8 +52,13 @@ func Main(args []string, stdout io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := core.ValidatePolicyName(*policyStr); err != nil {
+		// Fail fast at configuration time, listing the registered policies.
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
 	if *wfPath != "" || *platPath != "" {
-		return runFromFiles(*platPath, *wfPath, *modeStr, *chunkStr, *sizeStr, *cpuSec, stdout)
+		return runFromFiles(*platPath, *wfPath, *modeStr, *chunkStr, *sizeStr, *cpuSec, *policyStr, stdout)
 	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {
@@ -90,7 +97,7 @@ func Main(args []string, stdout io.Writer) int {
 	sim := engine.NewSimulation()
 	memSpec := platform.DeviceSpec{Name: "node0.mem", ReadBW: units.MBps(*memBW), WriteBW: units.MBps(*memBW)}
 	host := platform.HostSpec{Name: "node0", Cores: 32, FlopRate: 1e9, MemoryCap: ram, Memory: memSpec}
-	cfg := core.Config{TotalMem: ram, DirtyRatio: *dirtyRatio, DirtyExpire: *expire, FlushInterval: 5}
+	cfg := core.Config{TotalMem: ram, DirtyRatio: *dirtyRatio, DirtyExpire: *expire, FlushInterval: 5, Policy: *policyStr}
 	hr, err := sim.AddHost(host, mode, cfg, chunk)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)

@@ -23,6 +23,7 @@ func TestExamplesRun(t *testing.T) {
 		{"dagpipeline", "cacheless overestimates the workflow"},
 		{"cgroups", "cgroup usage"},
 		{"burstbuffer", "burst buffer"},
+		{"policies", "policy comparison"},
 	}
 	for _, c := range cases {
 		c := c

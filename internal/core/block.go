@@ -21,6 +21,13 @@ type Block struct {
 	LastAccess float64 // governs LRU ordering
 	Dirty      bool
 
+	// Policy metadata, maintained by the owning Manager's Policy and ignored
+	// by the others (zero for the default LRU): CLOCK's reference bit and
+	// the segmented-LFU frequency counter with its lazy-decay epoch.
+	ref       bool
+	freq      int32
+	freqEpoch int32
+
 	prev, next   *Block // main LRU list
 	dprev, dnext *Block // dirty sublist of the owning list (nil unless Dirty)
 	fprev, fnext *Block // per-file chain of the owning list
@@ -45,6 +52,9 @@ func (b *Block) split(n int64) *Block {
 		Entry:      b.Entry,
 		LastAccess: b.LastAccess,
 		Dirty:      b.Dirty,
+		ref:        b.ref,
+		freq:       b.freq,
+		freqEpoch:  b.freqEpoch,
 	}
 	b.Size -= n
 	return nb

@@ -1,8 +1,9 @@
 // Package core implements the paper's page-cache simulation model (§III):
-// data blocks in sorted active/inactive LRU lists, the Memory Manager
-// (flushing, eviction, cached I/O, periodic expiry flushing — Algorithm 1),
-// and the I/O Controller (chunked reads — Algorithm 2, writes — Algorithm 3,
-// plus the writethrough variant).
+// data blocks in policy-owned lists (default: the paper's sorted
+// active/inactive LRU lists), the Memory Manager (flushing, eviction,
+// cached I/O, periodic expiry flushing — Algorithm 1), and the I/O
+// Controller (chunked reads — Algorithm 2, writes — Algorithm 3, plus the
+// writethrough variant).
 //
 // The model is deliberately decoupled from any particular simulation engine:
 // every operation that consumes simulated time goes through the Caller
@@ -10,6 +11,15 @@
 // fair-shared fluid transfers; the sequential prototype (internal/pysim)
 // implements it with fixed-bandwidth arithmetic, exactly like the paper's
 // Python prototype.
+//
+// The replacement policy is a second seam: placement, promotion on access
+// and victim order live behind the Policy interface, selected by
+// Config.Policy from a registry ("lru" — the paper's two-list sorted LRU
+// and the default, bit-identical to the pre-seam implementation; "clock" —
+// kernel-style second chance with a reference bit; "fifo" — the degenerate
+// insertion-order baseline; "lfu" — segmented frequency-decay). The
+// accounting machinery (dirty sublists, per-file chains, expiry queue,
+// byte counters, OOM arithmetic) is shared by all policies.
 //
 // # Complexity of the Manager operations
 //
@@ -32,11 +42,28 @@
 //	AddToCache/WriteToCache        O(1)                   → O(1)
 //	Evict (per evicted block)      O(1) + exclusion skips (unchanged)
 //
+// The policy-seam operations keep the same O(touched-blocks) contract for
+// every registered policy (k = policy list count, a constant ≤ 4; v =
+// victims dropped per eviction):
+//
+//	Policy.Insert                  O(1) tail append (all policies)
+//	Policy.ReadHit                 O(f) per-file chain walk: LRU re-queues,
+//	                               CLOCK flags reference bits in place, LFU
+//	                               bumps/moves each touched block O(1),
+//	                               FIFO is a true no-op
+//	Policy.EvictClean              O(v) + exclusion skips; CLOCK additionally
+//	                               rotates each block at most once per sweep
+//	Policy.Rebalance               LRU: O(blocks demoted); others: O(1) no-op
+//	Manager.CacheBytes/Dirty/...   O(1) → O(k) counter sums
+//	Manager.Flush restart peek     O(1) → O(k) dirty-front peeks
+//
 // Additionally, adjacent same-file clean blocks with identical entry and
 // access times — the products of repeated partial flush/demotion splits —
-// are coalesced on insert, which bounds block-count growth in fragmented
-// workloads. All of this is pure bookkeeping: the simulated behavior
-// (which bytes move, in which order, at which simulated times) is
-// bit-identical to the unindexed implementation, and
-// Manager.CheckInvariants verifies every index structure block by block.
+// are coalesced on insert (policy metadata must match too, so no policy
+// merges blocks it would treat differently), which bounds block-count
+// growth in fragmented workloads. All of this is pure bookkeeping: under
+// the default policy the simulated behavior (which bytes move, in which
+// order, at which simulated times) is bit-identical to the unindexed,
+// pre-seam implementation, and Manager.CheckInvariants verifies every
+// index structure — and the policy's own structure — block by block.
 package core

@@ -129,6 +129,7 @@ func (io *IOController) ReadChunk(c Caller, file string, chunkSize, fileSize int
 	m.Evict(required-m.Free(), file)
 
 	if diskRead > 0 { // lines 12-15
+		m.NoteReadMiss(diskRead)
 		c.DiskRead(file, diskRead)
 		// Concurrent readers of the same file may have cached part of this
 		// range while we were blocked on the disk; never over-cache.

@@ -95,13 +95,16 @@ func (l *List) fileFront(file string) *Block {
 }
 
 // coalescible reports whether b can be absorbed into a main-list-adjacent
-// block a: same file, both clean, and indistinguishable metadata. Merging
-// such blocks is semantics-preserving (every Manager operation treats them
-// byte-wise) and bounds block-count growth under repeated partial flushes,
-// evictions and demotion splits of fragmented workloads.
+// block a: same file, both clean, and indistinguishable metadata — including
+// the policy metadata (reference bit, frequency), so no policy ever merges
+// blocks it would treat differently. Merging such blocks is
+// semantics-preserving (every Manager operation treats them byte-wise) and
+// bounds block-count growth under repeated partial flushes, evictions and
+// demotion splits of fragmented workloads.
 func coalescible(a, b *Block) bool {
 	return a.File == b.File && !a.Dirty && !b.Dirty &&
-		a.Entry == b.Entry && a.LastAccess == b.LastAccess
+		a.Entry == b.Entry && a.LastAccess == b.LastAccess &&
+		a.ref == b.ref && a.freq == b.freq && a.freqEpoch == b.freqEpoch
 }
 
 // PushBack appends b as the most recently used block. b must not belong to

@@ -25,6 +25,12 @@ type Config struct {
 	// evicted. Off by default (faithful to the paper); an ablation
 	// benchmark quantifies its effect.
 	EvictExcludesOpenWrites bool
+	// Policy selects the replacement policy by registry name ("lru",
+	// "clock", "fifo", "lfu", plus anything RegisterPolicy added). Empty
+	// selects DefaultPolicyName, the paper's two-list sorted LRU. Unknown
+	// names are rejected by Validate — at configuration time, with the
+	// registered names listed — never mid-simulation.
+	Policy string
 }
 
 // DefaultConfig returns the paper's configuration for a host with the given
@@ -50,32 +56,41 @@ func (c Config) Validate() error {
 	case c.FlushInterval <= 0:
 		return fmt.Errorf("core: FlushInterval must be positive")
 	}
-	return nil
+	return ValidatePolicyName(c.Policy)
 }
 
-// Manager is the paper's Memory Manager (§III.A): it owns the LRU lists and
-// implements flushing, eviction, cached reads/writes and the periodic-flush
-// body. All mutations are atomic in simulated time; only Caller transfers
-// block, and every scan restarts after a blocking point, which makes the
-// manager safe for concurrent simulated processes without explicit locks.
+// Manager is the paper's Memory Manager (§III.A): it owns the cache's byte
+// accounting and implements flushing, eviction, cached reads/writes and the
+// periodic-flush body. The structural decisions — list layout, placement,
+// promotion on access, victim order — are delegated to a pluggable Policy
+// (default: the paper's two-list sorted LRU). All mutations are atomic in
+// simulated time; only Caller transfers block, and every scan restarts after
+// a blocking point, which makes the manager safe for concurrent simulated
+// processes without explicit locks.
 //
 // Beyond the lists' own indexes (dirty sublists, per-file chains), the
-// manager threads every dirty block of both lists into an expiry queue
-// ordered by Entry time (eqHead/eqTail through Block.eprev/enext). Entry
-// times are assigned once, at block creation, from the monotonic simulated
-// clock and survive list moves, demotions and splits unchanged, so the
-// queue is maintained with O(1) link operations — and its head answers
+// manager threads every dirty block of every policy list into an expiry
+// queue ordered by Entry time (eqHead/eqTail through Block.eprev/enext).
+// Entry times are assigned once, at block creation, from the monotonic
+// simulated clock and survive list moves, demotions and splits unchanged, so
+// the queue is maintained with O(1) link operations — and its head answers
 // "is anything expired?" in O(1), the common no-op case of the periodic
 // flusher.
 type Manager struct {
-	cfg      Config
-	inactive *List
-	active   *List
-	anon     int64
-	cached   map[string]int64 // per-file cached bytes
-	writing  map[string]int   // open-for-write refcounts (extension heuristic)
+	cfg     Config
+	pol     Policy
+	anon    int64
+	cached  map[string]int64 // per-file cached bytes
+	writing map[string]int   // open-for-write refcounts (extension heuristic)
 
 	eqHead, eqTail *Block // expiry queue: all dirty blocks, Entry-ordered
+
+	// compatActive backs Active() for single-list policies (always empty).
+	compatActive *List
+
+	// readHits/readMisses count cached vs disk-served application read
+	// bytes (the policy-ablation experiment's hit-ratio metric).
+	readHits, readMisses int64
 
 	// ForcedEvictions counts safety-valve direct reclaims (see UseAnon);
 	// zero in well-formed workloads.
@@ -87,30 +102,74 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	pol, err := newPolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
 	return &Manager{
-		cfg:      cfg,
-		inactive: NewList("inactive"),
-		active:   NewList("active"),
-		cached:   make(map[string]int64),
-		writing:  make(map[string]int),
+		cfg:     cfg,
+		pol:     pol,
+		cached:  make(map[string]int64),
+		writing: make(map[string]int),
 	}, nil
 }
 
 // Config returns the manager configuration.
 func (m *Manager) Config() Config { return m.cfg }
 
-// Inactive and Active expose the LRU lists (read-only use: tests, tracing).
-func (m *Manager) Inactive() *List { return m.inactive }
-func (m *Manager) Active() *List   { return m.active }
+// Policy returns the manager's replacement policy.
+func (m *Manager) Policy() Policy { return m.pol }
 
-// Cached returns the cached bytes of file (any dirtiness, either list).
+// Inactive and Active expose the policy's lists (read-only use: tests,
+// tracing): for the default two-list LRU these are the paper's inactive and
+// active lists. Other policies map approximately — Inactive is the first
+// victim list, Active the last (or a permanently empty placeholder when the
+// policy keeps a single list).
+func (m *Manager) Inactive() *List { return m.pol.Lists()[0] }
+func (m *Manager) Active() *List {
+	if ls := m.pol.Lists(); len(ls) > 1 {
+		return ls[len(ls)-1]
+	}
+	if m.compatActive == nil {
+		m.compatActive = NewList("active")
+	}
+	return m.compatActive
+}
+
+// Cached returns the cached bytes of file (any dirtiness, any list).
 func (m *Manager) Cached(file string) int64 { return m.cached[file] }
 
 // CacheBytes returns total page-cache bytes.
-func (m *Manager) CacheBytes() int64 { return m.inactive.Bytes() + m.active.Bytes() }
+func (m *Manager) CacheBytes() int64 {
+	var n int64
+	for _, l := range m.pol.Lists() {
+		n += l.Bytes()
+	}
+	return n
+}
 
 // Dirty returns total dirty bytes.
-func (m *Manager) Dirty() int64 { return m.inactive.DirtyBytes() + m.active.DirtyBytes() }
+func (m *Manager) Dirty() int64 {
+	var n int64
+	for _, l := range m.pol.Lists() {
+		n += l.DirtyBytes()
+	}
+	return n
+}
+
+// ReadHitBytes and ReadMissBytes report how many application read bytes were
+// served from the cache vs from the backing store since construction — the
+// read-hit-ratio observable of the policy-ablation experiment. Hits are
+// counted by CacheRead itself; misses by the I/O paths that serve file reads
+// from the backing store (NoteReadMiss).
+func (m *Manager) ReadHitBytes() int64  { return m.readHits }
+func (m *Manager) ReadMissBytes() int64 { return m.readMisses }
+
+// NoteReadMiss records n disk-served read bytes. Every path that satisfies
+// an application read from the backing store on this manager's behalf — the
+// IOController's chunked reads, the NFS server's miss path — must call it,
+// mirroring how CacheRead counts the hit side internally.
+func (m *Manager) NoteReadMiss(n int64) { m.readMisses += n }
 
 // Anon returns anonymous (application) memory in use.
 func (m *Manager) Anon() int64 { return m.anon }
@@ -127,16 +186,20 @@ func (m *Manager) DirtyThreshold() int64 {
 	return int64(m.cfg.DirtyRatio * float64(m.Available()))
 }
 
-// Evictable returns the clean bytes in the inactive list, excluding blocks
-// of `exclude` and of write-protected files. Computed from the incremental
-// per-list and per-file counters: O(1), or O(open writers) under the
+// Evictable returns the clean bytes in the policy's evictable lists (the
+// inactive list under the default LRU), excluding blocks of `exclude` and of
+// write-protected files. Computed from the incremental per-list and per-file
+// counters: O(lists), or O(lists × open writers) under the
 // EvictExcludesOpenWrites heuristic — never a list walk.
 func (m *Manager) Evictable(exclude string) int64 {
-	n := m.inactive.Bytes() - m.inactive.DirtyBytes() - m.inactive.FileCleanBytes(exclude)
-	if m.cfg.EvictExcludesOpenWrites {
-		for f, refs := range m.writing {
-			if refs > 0 && f != exclude {
-				n -= m.inactive.FileCleanBytes(f)
+	var n int64
+	for _, l := range m.pol.EvictableLists() {
+		n += l.Bytes() - l.DirtyBytes() - l.FileCleanBytes(exclude)
+		if m.cfg.EvictExcludesOpenWrites {
+			for f, refs := range m.writing {
+				if refs > 0 && f != exclude {
+					n -= l.FileCleanBytes(f)
+				}
 			}
 		}
 	}
@@ -218,7 +281,7 @@ func (m *Manager) UseAnon(n int64) int64 {
 	if deficit > 0 {
 		m.ForcedEvictions++
 		m.forceEvict(deficit)
-		m.balance()
+		m.pol.Rebalance(m)
 		deficit = -m.Free()
 	}
 	if deficit < 0 {
@@ -236,10 +299,11 @@ func (m *Manager) ReleaseAnon(n int64) {
 }
 
 // forceEvict drops clean blocks regardless of exclusions until `amount`
-// bytes are reclaimed or nothing clean remains.
+// bytes are reclaimed or nothing clean remains, walking the policy's lists
+// in scan order.
 func (m *Manager) forceEvict(amount int64) int64 {
 	var evicted int64
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		if l.Bytes() == l.DirtyBytes() {
 			continue // nothing clean to reclaim here
 		}
@@ -281,58 +345,37 @@ func (m *Manager) addCached(file string, delta int64) {
 	}
 }
 
-// Evict frees up to `amount` bytes by deleting least recently used clean
-// blocks from the inactive list (§III.A.3), never touching blocks of
-// `exclude` or of write-protected files. Eviction consumes no simulated
-// time. It returns the evicted byte count. Non-positive amounts are no-ops
-// (explicitly stated in the paper).
-//
-// When the inactive list cannot satisfy the request (possible only when
-// exclusions or the EvictExcludesOpenWrites extension pin inactive blocks),
-// eviction escalates to clean blocks of the active list, mirroring the
-// kernel's active-list shrinking under pressure. With the paper's default
-// configuration the escalation never triggers.
+// Evict frees up to `amount` bytes by deleting clean blocks in the policy's
+// victim order (§III.A.3 for the default LRU: least recently used inactive
+// blocks first), never touching blocks of `exclude` or of write-protected
+// files. Eviction consumes no simulated time. It returns the evicted byte
+// count. Non-positive amounts are no-ops (explicitly stated in the paper).
 func (m *Manager) Evict(amount int64, exclude string) int64 {
 	if amount <= 0 {
 		return 0
 	}
-	var evicted int64
-	for _, l := range []*List{m.inactive, m.active} {
-		if l.Bytes() == l.DirtyBytes() {
-			continue // nothing clean to evict here
-		}
-		b := l.Front()
-		for b != nil && evicted < amount {
-			next := b.next
-			if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
-				evicted += m.dropBlockPrefix(l, b, amount-evicted)
-			}
-			b = next
-		}
-		if evicted >= amount {
-			break
-		}
-	}
-	m.balance()
+	evicted := m.pol.EvictClean(m, amount, exclude)
+	m.pol.Rebalance(m)
 	return evicted
 }
 
 // Flush writes up to `amount` bytes of dirty data to the blocks' backing
-// stores, least recently used first, inactive list before active list
-// (§III.A.3). Partially flushed blocks are split; the flushed part becomes
-// clean. Flushing takes simulated disk-write time through c. Non-positive
-// amounts are no-ops. Returns the flushed byte count.
+// stores in the policy's flush order — front dirty block of the first list
+// first (§III.A.3 for the default LRU: least recently used, inactive list
+// before active list). Partially flushed blocks are split; the flushed part
+// becomes clean. Flushing takes simulated disk-write time through c.
+// Non-positive amounts are no-ops. Returns the flushed byte count.
 //
 // The scan restarts after every blocking write so that concurrent list
 // mutations (other simulated processes) are observed — and thanks to the
-// dirty sublists each restart is an O(1) front peek, not a list walk.
+// dirty sublists each restart is an O(lists) front peek, not a list walk.
 func (m *Manager) Flush(c Caller, amount int64) int64 {
 	if amount <= 0 {
 		return 0
 	}
 	var flushed int64
 	for flushed < amount {
-		l, b := m.nextDirtyLRU()
+		l, b := m.nextDirty()
 		if b == nil {
 			break
 		}
@@ -343,14 +386,13 @@ func (m *Manager) Flush(c Caller, amount int64) int64 {
 	return flushed
 }
 
-// nextDirtyLRU returns the least recently used dirty block, searching the
-// inactive list first. O(1): the dirty sublists' front blocks.
-func (m *Manager) nextDirtyLRU() (*List, *Block) {
-	if b := m.inactive.FrontDirty(); b != nil {
-		return m.inactive, b
-	}
-	if b := m.active.FrontDirty(); b != nil {
-		return m.active, b
+// nextDirty returns the first dirty block in the policy's flush order: the
+// dirty sublists' front blocks, lists in scan order. O(lists).
+func (m *Manager) nextDirty() (*List, *Block) {
+	for _, l := range m.pol.Lists() {
+		if b := l.FrontDirty(); b != nil {
+			return l, b
+		}
 	}
 	return nil, nil
 }
@@ -368,7 +410,8 @@ func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 		return b.Size
 	}
 	l.resize(b, b.Size-want)
-	nb := &Block{File: b.File, Size: want, Entry: b.Entry, LastAccess: b.LastAccess}
+	nb := &Block{File: b.File, Size: want, Entry: b.Entry, LastAccess: b.LastAccess,
+		ref: b.ref, freq: b.freq, freqEpoch: b.freqEpoch}
 	l.insertBefore(nb, b)
 	return want
 }
@@ -391,15 +434,16 @@ func (m *Manager) FlushExpired(c Caller) int64 {
 	}
 }
 
-// nextExpired returns the first expired dirty block in eviction order
-// (inactive list before active list, LRU first). The expiry-queue head —
-// the globally oldest dirty block — answers the common "nothing expired"
-// case in O(1); otherwise only the dirty sublists are walked.
+// nextExpired returns the first expired dirty block in the policy's flush
+// order (default LRU: inactive list before active list, LRU first). The
+// expiry-queue head — the globally oldest dirty block — answers the common
+// "nothing expired" case in O(1); otherwise only the dirty sublists are
+// walked.
 func (m *Manager) nextExpired(now float64) (*List, *Block) {
 	if m.eqHead == nil || now-m.eqHead.Entry < m.cfg.DirtyExpire {
 		return nil, nil
 	}
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		for b := l.FrontDirty(); b != nil; b = b.dnext {
 			if now-b.Entry >= m.cfg.DirtyExpire {
 				return l, b
@@ -410,9 +454,10 @@ func (m *Manager) nextExpired(now float64) (*List, *Block) {
 }
 
 // AddToCache inserts n freshly disk-read bytes of file as one clean block at
-// the tail of the inactive list (first access, §III.A.1). If RAM would be
-// overcommitted the manager force-evicts (preferring other files) as a
-// safety valve. Returns the unresolvable deficit (0 normally).
+// the policy's insertion position (default LRU: tail of the inactive list —
+// first access, §III.A.1). If RAM would be overcommitted the manager
+// force-evicts (preferring other files) as a safety valve. Returns the
+// unresolvable deficit (0 normally).
 func (m *Manager) AddToCache(file string, n int64, now float64) int64 {
 	if n <= 0 {
 		return 0
@@ -430,15 +475,15 @@ func (m *Manager) AddToCache(file string, n int64, now float64) int64 {
 		return n - m.Free() // truly no room; caller surfaces the OOM
 	}
 	b := &Block{File: file, Size: n, Entry: now, LastAccess: now}
-	m.inactive.PushBack(b)
+	m.pol.Insert(m, b)
 	m.addCached(file, n)
-	m.balance()
+	m.pol.Rebalance(m)
 	return 0
 }
 
-// WriteToCache creates a dirty block of n bytes at the tail of the inactive
-// list (§III.A.2: written data is assumed uncached) and charges the memory
-// write through c. Returns the unresolvable deficit (0 normally).
+// WriteToCache creates a dirty block of n bytes at the policy's insertion
+// position (§III.A.2: written data is assumed uncached) and charges the
+// memory write through c. Returns the unresolvable deficit (0 normally).
 func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 	if n <= 0 {
 		return 0
@@ -447,73 +492,30 @@ func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 		return n - m.Free()
 	}
 	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true}
-	m.inactive.PushBack(b)
+	m.pol.Insert(m, b)
 	m.enqueueExpiry(b)
 	m.addCached(file, n)
-	m.balance()
+	m.pol.Rebalance(m)
 	c.MemWrite(n)
 	return 0
 }
 
-// CacheRead simulates reading `amount` cached bytes of file (§III.A.2):
-// blocks are consumed in round-robin order — inactive list before active
-// list, LRU first (Fig 3). Clean blocks merge into a single block appended
-// to the active list; dirty blocks move individually, preserving their entry
-// times. Partially read blocks are split. The memory read is charged
-// through c after the list mutation.
+// CacheRead simulates reading `amount` cached bytes of file (§III.A.2). The
+// policy applies its promotion — the default LRU consumes blocks in
+// round-robin order, inactive list before active list, LRU first (Fig 3),
+// merging clean blocks onto the active list; CLOCK sets reference bits; LFU
+// bumps frequencies; FIFO does nothing. The memory read is charged through
+// c after the list mutation.
 //
-// The scans follow the per-file chains, so the cost is proportional to the
-// file's own block count, not the cache size.
+// Every policy follows the per-file chains, so the cost is proportional to
+// the file's own block count, not the cache size.
 func (m *Manager) CacheRead(c Caller, file string, amount int64) {
 	if amount <= 0 {
 		return
 	}
-	now := c.Now()
-	remaining := amount
-	var mergedSize int64
-	mergedEntry := now
-
-	consume := func(l *List) {
-		b := l.fileFront(file)
-		for b != nil && remaining > 0 {
-			next := b.fnext
-			take := b.Size
-			if take > remaining {
-				take = remaining
-			}
-			moved := b
-			if take == b.Size {
-				l.Remove(b)
-			} else {
-				// Split: the LRU-side prefix is the portion read now.
-				l.resize(b, b.Size-take)
-				moved = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
-			}
-			if moved.Dirty {
-				moved.LastAccess = now
-				m.active.PushBack(moved)
-				if moved != b {
-					// New dirty block split off a queued one: same Entry,
-					// so it slots in right next to the original.
-					m.enqueueExpiryAfter(moved, b)
-				}
-			} else {
-				mergedSize += moved.Size
-				if moved.Entry < mergedEntry {
-					mergedEntry = moved.Entry
-				}
-			}
-			remaining -= take
-			b = next
-		}
-	}
-	consume(m.inactive)
-	consume(m.active)
-
-	if mergedSize > 0 {
-		m.active.PushBack(&Block{File: file, Size: mergedSize, Entry: mergedEntry, LastAccess: now})
-	}
-	m.balance()
+	m.readHits += amount
+	m.pol.ReadHit(m, file, amount, c.Now())
+	m.pol.Rebalance(m)
 	c.MemRead(amount)
 }
 
@@ -522,7 +524,7 @@ func (m *Manager) CacheRead(c Caller, file string, amount int64) {
 // dropped byte count. Walks only the file's own chains.
 func (m *Manager) InvalidateFile(file string) int64 {
 	var dropped int64
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		b := l.fileFront(file)
 		for b != nil {
 			next := b.fnext
@@ -537,37 +539,8 @@ func (m *Manager) InvalidateFile(file string) int64 {
 	if dropped > 0 {
 		m.addCached(file, -dropped)
 	}
-	m.balance()
+	m.pol.Rebalance(m)
 	return dropped
-}
-
-// balance keeps the active list at most twice the size of the inactive list
-// (§III.A.1) by demoting least recently used active blocks into the
-// inactive list at their sorted positions. Demotion is byte-exact: the last
-// demoted block is split so the 2:1 ratio is met without overshoot (the real
-// kernel moves individual pages, so its granularity is effectively exact at
-// our block sizes).
-func (m *Manager) balance() {
-	for m.active.Bytes() > 2*m.inactive.Bytes() {
-		b := m.active.Front()
-		if b == nil {
-			return
-		}
-		// Demoting x bytes reaches balance when active−x ≤ 2(inactive+x).
-		excess := (m.active.Bytes() - 2*m.inactive.Bytes() + 2) / 3
-		if b.Size <= excess {
-			m.active.Remove(b)
-			m.inactive.InsertSorted(b)
-			continue
-		}
-		m.active.resize(b, b.Size-excess)
-		nb := &Block{File: b.File, Size: excess, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
-		m.inactive.InsertSorted(nb)
-		if nb.Dirty {
-			// Split of a queued dirty block: same Entry, slots in next to b.
-			m.enqueueExpiryAfter(nb, b)
-		}
-	}
 }
 
 // Stats is a point-in-time snapshot of the manager's accounting.
@@ -578,19 +551,28 @@ type Stats struct {
 	DirtyThreshold                             int64
 }
 
-// Snapshot returns current statistics.
+// Snapshot returns current statistics. For policies with more than two
+// lists, InactiveBytes/Blocks cover the first (least valuable) list and
+// ActiveBytes/Blocks everything above it; for the default LRU these are
+// exactly the paper's two lists.
 func (m *Manager) Snapshot() Stats {
+	inact := m.pol.Lists()[0]
+	cache := m.CacheBytes()
+	var blocks int
+	for _, l := range m.pol.Lists() {
+		blocks += l.Len()
+	}
 	return Stats{
 		Total:          m.cfg.TotalMem,
 		Anon:           m.anon,
-		Cache:          m.CacheBytes(),
+		Cache:          cache,
 		Dirty:          m.Dirty(),
 		Free:           m.Free(),
 		Available:      m.Available(),
-		ActiveBytes:    m.active.Bytes(),
-		InactiveBytes:  m.inactive.Bytes(),
-		ActiveBlocks:   m.active.Len(),
-		InactiveBlocks: m.inactive.Len(),
+		ActiveBytes:    cache - inact.Bytes(),
+		InactiveBytes:  inact.Bytes(),
+		ActiveBlocks:   blocks - inact.Len(),
+		InactiveBlocks: inact.Len(),
 		DirtyThreshold: m.DirtyThreshold(),
 	}
 }
@@ -618,16 +600,17 @@ func (m *Manager) CachedFiles() []string {
 // invariants plus the index structures this package maintains incrementally:
 // per-list dirty sublists (order and membership), per-file chains (order,
 // membership, byte totals), and the manager-wide expiry queue (membership
-// and Entry order). Tests call it after randomized operation sequences. It
-// returns an error describing the first violation found.
+// and Entry order) — and then the policy's own structural invariants
+// (Policy.CheckInvariants: list ordering for the access-ordered policies,
+// bucket assignment for LFU). Tests call it after randomized operation
+// sequences. It returns an error describing the first violation found.
 func (m *Manager) CheckInvariants() error {
 	var perFile = map[string]int64{}
 	dirtySet := map[*Block]bool{}
 	var dirtyCount int
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		var bytes, dirty int64
 		n := 0
-		last := -1.0
 		// Reference sequences rebuilt from the main walk, checked against
 		// the incremental structures below.
 		dirtySeq := []*Block{}
@@ -641,10 +624,6 @@ func (m *Manager) CheckInvariants() error {
 			if b.Size <= 0 {
 				return fmt.Errorf("non-positive block size: %v", b)
 			}
-			if b.LastAccess < last {
-				return fmt.Errorf("list %s not sorted by access time", l.name)
-			}
-			last = b.LastAccess
 			bytes += b.Size
 			if b.Dirty {
 				dirty += b.Size
@@ -752,5 +731,5 @@ func (m *Manager) CheckInvariants() error {
 	if m.anon < 0 {
 		return fmt.Errorf("negative anon: %d", m.anon)
 	}
-	return nil
+	return m.pol.CheckInvariants(m)
 }

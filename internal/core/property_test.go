@@ -8,18 +8,30 @@ import (
 )
 
 // TestPropertyIOControllerConservation drives random read/write workloads
-// through Algorithms 2 & 3 and checks global byte conservation and
-// accounting invariants after every operation:
+// through Algorithms 2 & 3 — once per registered policy — and checks global
+// byte conservation and accounting invariants after every operation:
 //
 //   - every byte of a read is served exactly once (disk + cache = request);
 //   - every byte of a write lands somewhere durable-or-cached
 //     (memWrites = cache insertions; flushed + dirty = written);
 //   - manager invariants (list accounting, non-negative free) hold.
 func TestPropertyIOControllerConservation(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			testIOControllerConservation(t, policy)
+		})
+	}
+}
+
+func testIOControllerConservation(t *testing.T, policy string) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		total := int64(50000 + rng.Intn(100000))
-		m, err := NewManager(DefaultConfig(total))
+		cfg := DefaultConfig(total)
+		cfg.Policy = policy
+		m, err := NewManager(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,22 +128,25 @@ func TestPropertyIOControllerConservation(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Oracles: brute-force rescans of the main lists, independent of the
 // incremental index structures (dirty sublists, per-file chains, expiry
-// queue, per-file counters) they validate.
+// queue, per-file counters) they validate. They follow the policy's list
+// set and scan order, so they stay valid for every registered policy.
 
 func oracleEvictable(m *Manager, exclude string) int64 {
 	var n int64
-	m.inactive.Each(func(b *Block) bool {
-		if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
-			n += b.Size
-		}
-		return true
-	})
+	for _, l := range m.pol.EvictableLists() {
+		l.Each(func(b *Block) bool {
+			if !b.Dirty && b.File != exclude && !m.writeProtected(b.File) {
+				n += b.Size
+			}
+			return true
+		})
+	}
 	return n
 }
 
-func oracleNextDirtyLRU(m *Manager) *Block {
+func oracleNextDirty(m *Manager) *Block {
 	var found *Block
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		l.Each(func(b *Block) bool {
 			if b.Dirty {
 				found = b
@@ -148,7 +163,7 @@ func oracleNextDirtyLRU(m *Manager) *Block {
 
 func oracleNextExpired(m *Manager, now float64) *Block {
 	var found *Block
-	for _, l := range []*List{m.inactive, m.active} {
+	for _, l := range m.pol.Lists() {
 		l.Each(func(b *Block) bool {
 			if b.Dirty && now-b.Entry >= m.cfg.DirtyExpire {
 				found = b
@@ -177,23 +192,36 @@ func oracleFileBytes(l *List, file string) (bytes, clean int64) {
 }
 
 // TestPropertyIndexedStructures drives randomized operation sequences —
-// including invalidation and the open-for-write eviction heuristic — and
-// after every operation cross-checks the incrementally maintained index
-// structures against brute-force rescans of the main lists:
+// including invalidation and the open-for-write eviction heuristic — once
+// per registered policy, and after every operation cross-checks the
+// incrementally maintained index structures against brute-force rescans of
+// the main lists:
 //
-//   - Evictable (clean/evictable byte counters) vs a full inactive-list walk,
-//     for the empty exclusion, a random file, and an open-for-write file;
-//   - nextDirtyLRU (dirty-sublist front peeks) vs a full two-list scan;
+//   - Evictable (clean/evictable byte counters) vs a full walk of the
+//     policy's evictable lists, for the empty exclusion, a random file, and
+//     an open-for-write file;
+//   - nextDirty (dirty-sublist front peeks) vs a full list-set scan;
 //   - nextExpired (expiry-queue head + dirty-sublist walk) vs a full scan;
 //   - per-file byte/clean counters vs filtered list walks;
 //   - CheckInvariants, which additionally verifies the dirty sublists,
-//     per-file chains and expiry queue block by block.
+//     per-file chains, expiry queue and policy structure block by block.
 func TestPropertyIndexedStructures(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		policy := policy
+		t.Run(policy, func(t *testing.T) {
+			t.Parallel()
+			testIndexedStructures(t, policy)
+		})
+	}
+}
+
+func testIndexedStructures(t *testing.T, policy string) {
 	files := []string{"a", "b", "c", "d", "e"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := DefaultConfig(100000)
 		cfg.EvictExcludesOpenWrites = rng.Intn(2) == 0
+		cfg.Policy = policy
 		m, err := NewManager(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -266,9 +294,9 @@ func TestPropertyIndexedStructures(t *testing.T) {
 					return false
 				}
 			}
-			_, gotDirty := m.nextDirtyLRU()
-			if want := oracleNextDirtyLRU(m); gotDirty != want {
-				t.Logf("seed %d op %d: nextDirtyLRU = %v, oracle %v", seed, i, gotDirty, want)
+			_, gotDirty := m.nextDirty()
+			if want := oracleNextDirty(m); gotDirty != want {
+				t.Logf("seed %d op %d: nextDirty = %v, oracle %v", seed, i, gotDirty, want)
 				return false
 			}
 			_, gotExp := m.nextExpired(c.now)
@@ -276,7 +304,7 @@ func TestPropertyIndexedStructures(t *testing.T) {
 				t.Logf("seed %d op %d: nextExpired = %v, oracle %v", seed, i, gotExp, want)
 				return false
 			}
-			for _, l := range []*List{m.inactive, m.active} {
+			for _, l := range m.pol.Lists() {
 				bytes, clean := oracleFileBytes(l, file)
 				if l.FileBytes(file) != bytes || l.FileCleanBytes(file) != clean {
 					t.Logf("seed %d op %d: list %s file %s counters %d/%d, oracle %d/%d",

@@ -18,7 +18,9 @@ type Platform struct {
 
 // BuildPlatform realizes a JSON platform description on the simulation. All
 // hosts get the given cache mode; cache configuration derives from each
-// host's RAM via core.DefaultConfig, with dirtyRatio overridden when > 0.
+// host's RAM via core.DefaultConfig, with dirtyRatio overridden when > 0 and
+// the replacement policy taken from each host's "cachePolicy" field (empty:
+// the default LRU).
 func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64, dirtyRatio float64) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -37,6 +39,7 @@ func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64,
 		if dirtyRatio > 0 {
 			cacheCfg.DirtyRatio = dirtyRatio
 		}
+		cacheCfg.Policy = hc.CachePolicy
 		hr, err := s.AddHost(spec, mode, cacheCfg, chunk)
 		if err != nil {
 			return nil, fmt.Errorf("engine: building host %s: %w", hc.Name, err)

@@ -85,3 +85,60 @@ func TestBuildPlatformRejectsInvalid(t *testing.T) {
 		t.Fatal("empty config accepted")
 	}
 }
+
+func TestBuildPlatformCachePolicy(t *testing.T) {
+	// The per-host "cachePolicy" knob must reach the built cache model. A
+	// FIFO host keeps a single list, so a warm read never populates an
+	// active list; an LRU host promotes re-read blocks.
+	run := func(policy string) int64 {
+		cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cfg.Hosts {
+			cfg.Hosts[i].CachePolicy = policy
+		}
+		sim := NewSimulation()
+		p, err := sim.BuildPlatform(cfg, ModeWriteback, 1<<20, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		server := p.Hosts["server"]
+		export := p.Partitions["export"]
+		if _, err := export.CreateSized("f", 1<<20); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.NS.Place("f", export); err != nil {
+			t.Fatal(err)
+		}
+		sim.SpawnApp(server, 0, "app", func(a *App) error {
+			if err := a.ReadFile("f", "cold"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			err := a.ReadFile("f", "warm")
+			a.ReleaseTaskMemory()
+			return err
+		})
+		if err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return server.Model.Snapshot().ActiveBytes
+	}
+	if active := run("fifo"); active != 0 {
+		t.Fatalf("fifo host has active bytes %d", active)
+	}
+	if active := run("lru"); active == 0 {
+		t.Fatal("lru host promoted nothing on a warm read")
+	}
+
+	// Unknown names fail at build/validation time.
+	cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hosts[0].CachePolicy = "mglru"
+	if _, err := NewSimulation().BuildPlatform(cfg, ModeWriteback, 1<<20, 0); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -18,14 +18,18 @@ type nfsRig struct {
 	srvMgr         *core.Manager
 }
 
-func newNFSRig(t *testing.T) *nfsRig {
+func newNFSRig(t *testing.T, policy ...string) *nfsRig {
 	t.Helper()
+	cfg := core.DefaultConfig(1000)
+	if len(policy) > 0 {
+		cfg.Policy = policy[0]
+	}
 	sim := NewSimulation()
 	mk := func(name string) *HostRuntime {
 		hr, err := sim.AddHost(platform.HostSpec{
 			Name: name, Cores: 4, FlopRate: 1e9, MemoryCap: 1000,
 			Memory: platform.DeviceSpec{Name: name + ".mem", ReadBW: 100, WriteBW: 100},
-		}, ModeWriteback, core.DefaultConfig(1000), 10)
+		}, ModeWriteback, cfg, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,7 +44,7 @@ func newNFSRig(t *testing.T) *nfsRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srvMgr, err := core.NewManager(core.DefaultConfig(1000))
+	srvMgr, err := core.NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -276,6 +276,63 @@ func TestAblationOrdering(t *testing.T) {
 	}
 }
 
+func TestPolicyAblationQuick(t *testing.T) {
+	res, err := RunPolicyAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) < 4 {
+		t.Fatalf("expected ≥4 registered policies, got %v", res.Policies)
+	}
+	if len(res.Rows) != len(res.Policies)*len(res.Workloads) {
+		t.Fatalf("grid incomplete: %d rows for %d policies × %d workloads",
+			len(res.Rows), len(res.Policies), len(res.Workloads))
+	}
+	byCell := map[string]map[string]PolicyRow{}
+	for _, row := range res.Rows {
+		if row.Makespan <= 0 {
+			t.Fatalf("%s/%s: non-positive makespan", row.Workload, row.Policy)
+		}
+		if row.HitRatio < 0 || row.HitRatio > 1 {
+			t.Fatalf("%s/%s: hit ratio %v out of [0,1]", row.Workload, row.Policy, row.HitRatio)
+		}
+		if byCell[row.Workload] == nil {
+			byCell[row.Workload] = map[string]PolicyRow{}
+		}
+		byCell[row.Workload][row.Policy] = row
+	}
+	// Without eviction pressure (4×20 GB well inside 250 GiB) the policy
+	// cannot matter: every policy must produce the same makespan.
+	base := byCell["synthetic-20gb"]["lru"].Makespan
+	for p, row := range byCell["synthetic-20gb"] {
+		if row.Makespan != base {
+			t.Fatalf("no-pressure run differs under %s: %v vs %v", p, row.Makespan, base)
+		}
+	}
+	// Under pressure (32 GiB node) victim choice is visible: at least two
+	// policies must disagree.
+	distinct := map[float64]bool{}
+	for _, row := range byCell["synthetic-20gb-32gbram"] {
+		distinct[row.Makespan] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("pressured run shows no policy effect: %v", byCell["synthetic-20gb-32gbram"])
+	}
+
+	var b strings.Builder
+	res.Render(&b)
+	if !strings.Contains(b.String(), "Policy ablation") {
+		t.Fatal("render broken")
+	}
+	b.Reset()
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "workload,policy,makespan_s,read_hit_ratio") {
+		t.Fatalf("csv header: %q", b.String()[:40])
+	}
+}
+
 func TestRendersProduceOutput(t *testing.T) {
 	res1, err := RunExp1(20 * units.GB)
 	if err != nil {

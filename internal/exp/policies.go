@@ -1,0 +1,184 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/textplot"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// PolicyRow is one (workload, policy) cell of the policy-ablation study.
+type PolicyRow struct {
+	Workload string
+	Policy   string
+	Makespan float64 // simulated seconds until the last operation completes
+	HitRatio float64 // cached fraction of application read bytes
+}
+
+// PolicyResult collects the replacement-policy ablation: every registered
+// cache policy run on the paper's workloads under the writeback model.
+type PolicyResult struct {
+	Workloads []string
+	Policies  []string
+	Rows      []PolicyRow
+}
+
+// policyWorkload is one placeable workload of the ablation grid. ram
+// overrides the paper's 250 GiB node when > 0: the 20 GB pipeline fits the
+// paper node entirely, so a reduced-RAM cell is included to put the
+// policies under the eviction pressure that actually separates them.
+type policyWorkload struct {
+	name string
+	ram  int64
+	run  func(rig *LocalRig) error
+}
+
+// syntheticPolicyWorkload places `instances` copies of the paper's synthetic
+// pipeline (Table I) at the given per-file size.
+func syntheticPolicyWorkload(name string, size int64, instances int) policyWorkload {
+	return policyWorkload{name: name, run: func(rig *LocalRig) error {
+		cpu := workload.SyntheticCPU(size)
+		for i := 0; i < instances; i++ {
+			if err := createInput(rig.Sim, rig.Part, workload.SyntheticFiles(i)[0], size); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < instances; i++ {
+			files := workload.SyntheticFiles(i)
+			rig.Sim.SpawnApp(rig.Host, i, fmt.Sprintf("app%d", i), func(a *engine.App) error {
+				return workload.RunSynthetic(&workload.EngineRunner{App: a, Part: rig.Part}, workload.SyntheticSpec{
+					Size: size, CPU: cpu, Files: files,
+				})
+			})
+		}
+		return rig.Sim.Run()
+	}}
+}
+
+// nighresPolicyWorkload places the four-step Nighres workflow (Table II).
+func nighresPolicyWorkload() policyWorkload {
+	return policyWorkload{name: "nighres", run: func(rig *LocalRig) error {
+		if err := createInput(rig.Sim, rig.Part, workload.NighresInput, workload.NighresInputSize); err != nil {
+			return err
+		}
+		rig.Sim.SpawnApp(rig.Host, 0, "nighres", func(a *engine.App) error {
+			return workload.RunNighres(&workload.EngineRunner{App: a, Part: rig.Part})
+		})
+		return rig.Sim.Run()
+	}}
+}
+
+// newPolicyRig builds the paper's single-node simulator platform in
+// writeback mode with the given replacement policy and RAM size (≤0: the
+// paper's 250 GiB), returning the host's manager so hit/miss counters are
+// observable.
+func newPolicyRig(policy string, ram int64) (*LocalRig, *core.Manager, error) {
+	if ram <= 0 {
+		ram = RAM
+	}
+	sim := engine.NewSimulation()
+	cfg := core.DefaultConfig(ram)
+	cfg.Policy = policy
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := engine.NewCoreModel(mgr, ChunkSize, engine.ModeWriteback)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := platform.PaperHostSpec("node0", platform.SimMemorySpec("node0.mem"))
+	spec.MemoryCap = ram
+	hr, err := sim.AddHostWithModel(spec, engine.ModeWriteback, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := hr.AddDisk(platform.SimLocalDiskSpec("node0.disk"), "scratch", DiskCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &LocalRig{Sim: sim, Host: hr, Part: part}, mgr, nil
+}
+
+// RunPolicyAblation runs every registered page-cache policy across the
+// paper's workloads — the single-threaded synthetic pipeline (Exp 1, on the
+// paper node and on a memory-pressured 32 GiB node where the 4×20 GB
+// working set forces evictions), the Exp 2 concurrency profile, and the
+// Nighres workflow (Exp 4) — and reports per-cell makespan and read-hit
+// ratio. quick thins the grid to the 20 GB synthetic and Nighres runs.
+func RunPolicyAblation(quick bool) (*PolicyResult, error) {
+	pressured := syntheticPolicyWorkload("synthetic-20gb-32gbram", 20*units.GB, 1)
+	pressured.ram = 32 * units.GiB
+	workloads := []policyWorkload{
+		syntheticPolicyWorkload("synthetic-20gb", 20*units.GB, 1),
+		pressured,
+		nighresPolicyWorkload(),
+	}
+	if !quick {
+		workloads = append(workloads,
+			syntheticPolicyWorkload("synthetic-100gb", 100*units.GB, 1),
+			syntheticPolicyWorkload("concurrent-8x3gb", 3*units.GB, 8),
+		)
+	}
+	res := &PolicyResult{Policies: core.PolicyNames()}
+	for _, w := range workloads {
+		res.Workloads = append(res.Workloads, w.name)
+		for _, policy := range res.Policies {
+			rig, mgr, err := newPolicyRig(policy, w.ram)
+			if err != nil {
+				return nil, fmt.Errorf("policy ablation %s/%s: %w", w.name, policy, err)
+			}
+			if err := w.run(rig); err != nil {
+				return nil, fmt.Errorf("policy ablation %s/%s: %w", w.name, policy, err)
+			}
+			hit, miss := mgr.ReadHitBytes(), mgr.ReadMissBytes()
+			ratio := 0.0
+			if hit+miss > 0 {
+				ratio = float64(hit) / float64(hit+miss)
+			}
+			res.Rows = append(res.Rows, PolicyRow{
+				Workload: w.name,
+				Policy:   policy,
+				Makespan: rig.Sim.Makespan(),
+				HitRatio: ratio,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the ablation as one table per workload, best makespan first
+// within each.
+func (r *PolicyResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Policy ablation: makespan and read-hit ratio per cache policy ==")
+	for _, wl := range r.Workloads {
+		fmt.Fprintf(w, "\n-- %s --\n", wl)
+		t := &textplot.Table{Header: []string{"policy", "makespan (s)", "read-hit ratio"}}
+		for _, row := range r.Rows {
+			if row.Workload != wl {
+				continue
+			}
+			t.Add(row.Policy, fmt.Sprintf("%.1f", row.Makespan), fmt.Sprintf("%.3f", row.HitRatio))
+		}
+		t.Render(w)
+	}
+}
+
+// WriteCSV emits "workload,policy,makespan_s,read_hit_ratio" rows.
+func (r *PolicyResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "workload,policy,makespan_s,read_hit_ratio"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.3f,%.4f\n",
+			row.Workload, row.Policy, row.Makespan, row.HitRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}

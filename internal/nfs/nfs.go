@@ -117,6 +117,7 @@ func (r *Remote) Read(p *des.Proc, file string, fileSize, n int64) {
 	}
 	cacheRead := n - diskRead
 	if diskRead > 0 {
+		r.mgr.NoteReadMiss(diskRead)
 		if r.ServerWriteback {
 			r.mgr.Flush(c, diskRead-r.mgr.Free()-r.mgr.Evictable(file))
 		}

@@ -111,6 +111,11 @@ func TestServerReadCachePopulatesAndHits(t *testing.T) {
 	if rg.mgr.Cached("f") != 100 {
 		t.Fatalf("server cached = %d", rg.mgr.Cached("f"))
 	}
+	// Hit/miss accounting covers the NFS path too: the cold read is all
+	// misses, the warm read all hits → ratio 0.5, not a false 1.0.
+	if hit, miss := rg.mgr.ReadHitBytes(), rg.mgr.ReadMissBytes(); hit != 100 || miss != 100 {
+		t.Fatalf("server hit/miss = %d/%d, want 100/100", hit, miss)
+	}
 }
 
 func TestWritethroughWriteCachesOnServer(t *testing.T) {

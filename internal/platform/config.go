@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/core"
 	"repro/internal/units"
 )
 
@@ -17,11 +18,17 @@ import (
 //	  "hosts": [{
 //	    "name": "node0", "cores": 32, "gflops": 1,
 //	    "ram": "250GiB", "memReadMBps": 6860, "memWriteMBps": 2764,
+//	    "cachePolicy": "lru",
 //	    "disks": [{"name": "ssd0", "readMBps": 510, "writeMBps": 420,
 //	               "capacity": "450GiB", "partition": "scratch"}]
 //	  }],
 //	  "links": [{"name": "net", "mbps": 3000}]
 //	}
+//
+// "cachePolicy" selects the host's page-cache replacement policy by
+// core registry name ("lru", "clock", "fifo", "lfu"; empty or omitted means
+// the paper's two-list LRU). Unknown names are rejected when the config is
+// loaded, with the registered names listed.
 type Config struct {
 	Hosts []HostConfig `json:"hosts"`
 	Links []LinkConfig `json:"links"`
@@ -35,6 +42,7 @@ type HostConfig struct {
 	RAM          string       `json:"ram"`    // e.g. "250GiB"
 	MemReadMBps  float64      `json:"memReadMBps"`
 	MemWriteMBps float64      `json:"memWriteMBps"`
+	CachePolicy  string       `json:"cachePolicy"` // page-cache policy ("" = default LRU)
 	Disks        []DiskConfig `json:"disks"`
 }
 
@@ -96,6 +104,9 @@ func (c *Config) Validate() error {
 		}
 		if h.MemReadMBps <= 0 || h.MemWriteMBps <= 0 {
 			return fmt.Errorf("platform: host %q: memory bandwidths must be positive", h.Name)
+		}
+		if err := core.ValidatePolicyName(h.CachePolicy); err != nil {
+			return fmt.Errorf("platform: host %q: %w", h.Name, err)
 		}
 		for _, d := range h.Disks {
 			if d.Name == "" || d.Partition == "" {

@@ -71,10 +71,35 @@ func TestLoadConfigRejections(t *testing.T) {
 			"links":[{"name":"l","mbps":1},{"name":"l","mbps":2}]}`},
 		{"negative latency", `{"hosts": [{"name":"a","cores":1,"gflops":1,"ram":"1GiB","memReadMBps":1,"memWriteMBps":1,
 			"disks":[{"name":"d","readMBps":1,"writeMBps":1,"capacity":"1GiB","partition":"p","latencyS":-1}]}]}`},
+		{"unknown cache policy", `{"hosts": [{"name":"a","cores":1,"gflops":1,"ram":"1GiB","memReadMBps":1,"memWriteMBps":1,
+			"cachePolicy":"mglru"}]}`},
 	}
 	for _, c := range cases {
 		if _, err := LoadConfig(strings.NewReader(c.json)); err == nil {
 			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCachePolicyConfig(t *testing.T) {
+	// A registered policy name is accepted and surfaced on the host config;
+	// the rejection error for an unknown name lists the registered ones.
+	cfg := strings.Replace(goodConfig, `"memWriteMBps": 2764,`, `"memWriteMBps": 2764, "cachePolicy": "clock",`, 1)
+	c, err := LoadConfig(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Hosts[0].CachePolicy != "clock" {
+		t.Fatalf("cachePolicy = %q", c.Hosts[0].CachePolicy)
+	}
+	bad := strings.Replace(goodConfig, `"memWriteMBps": 2764,`, `"memWriteMBps": 2764, "cachePolicy": "mglru",`, 1)
+	_, err = LoadConfig(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, want := range []string{"mglru", "lru", "clock", "fifo", "lfu", "node0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
 		}
 	}
 }
