@@ -10,6 +10,7 @@
 //	experiments -exp2 -exp3 -reps 5  # concurrency experiments
 //	experiments -fig8 -ablations
 //	experiments -policies            # cache-policy ablation (lru/clock/fifo/lfu)
+//	experiments -writebacks          # writeback-policy ablation (list-order/oldest-first/file-rr/proportional)
 package main
 
 import (
@@ -45,6 +46,7 @@ func Main(args []string, stdout io.Writer) int {
 		fig8      = fs.Bool("fig8", false, "Fig 8: simulation-time scaling")
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
 		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
+		wbacks    = fs.Bool("writebacks", false, "writeback-policy ablation across registered writeback policies (not part of -all)")
 		tables    = fs.Bool("tables", false, "print Tables I-III")
 		profiles  = fs.Bool("profiles", false, "print Fig 4b memory profiles (with -exp1)")
 		contents  = fs.Bool("contents", false, "print Fig 4c cache contents (with -exp1)")
@@ -55,7 +57,7 @@ func Main(args []string, stdout io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies) {
+	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks) {
 		*all = true
 	}
 	if *all {
@@ -169,6 +171,23 @@ func Main(args []string, stdout io.Writer) int {
 		res.Render(stdout)
 		fmt.Fprintln(stdout)
 		if err := exp.SaveCSV(*outDir, "policy_ablation.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+	}
+	if *wbacks {
+		res, err := exp.RunWritebackAblation(*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: writebacks: %v\n", err)
+			return 1
+		}
+		res.Render(stdout)
+		fmt.Fprintln(stdout)
+		if err := exp.SaveCSV(*outDir, "writeback_ablation.csv", res.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		if err := exp.SaveCSV(*outDir, "writeback_hitratio.csv", res.WriteSeriesCSV); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 1
 		}

@@ -15,9 +15,10 @@ import (
 
 // runFromFiles executes pcsim in description-file mode: a JSON platform,
 // and either a JSON workflow or the built-in synthetic pipeline placed on
-// the platform's first host/partition. A non-empty policy overrides every
-// host's "cachePolicy" setting.
-func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec float64, policy string, stdout io.Writer) int {
+// the platform's first host/partition. A non-empty policy (writeback)
+// overrides every host's "cachePolicy" ("writebackPolicy") setting, and a
+// positive dirtyBG every host's "dirtyBackgroundRatio".
+func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec float64, policy, writeback string, dirtyBG float64, stdout io.Writer) int {
 	if platPath == "" {
 		fmt.Fprintln(os.Stderr, "pcsim: -workflow requires -platform")
 		return 2
@@ -46,6 +47,16 @@ func runFromFiles(platPath, wfPath, modeStr, chunkStr, sizeStr string, cpuSec fl
 	if policy != "" {
 		for i := range cfg.Hosts {
 			cfg.Hosts[i].CachePolicy = policy
+		}
+	}
+	if writeback != "" {
+		for i := range cfg.Hosts {
+			cfg.Hosts[i].WritebackPolicy = writeback
+		}
+	}
+	if dirtyBG > 0 {
+		for i := range cfg.Hosts {
+			cfg.Hosts[i].DirtyBackgroundRatio = dirtyBG
 		}
 	}
 	sim := engine.NewSimulation()

@@ -9,6 +9,7 @@
 //	pcsim -size 3GB -mode cacheless -instances 8
 //	pcsim -size 10GB -mode writeback -ram 32GiB -dirty-ratio 0.4 -csv mem.csv
 //	pcsim -size 20GB -mode writeback -ram 32GiB -policy clock
+//	pcsim -size 20GB -mode writeback -ram 32GiB -writeback file-rr -dirty-background 0.1
 //	pcsim -platform cluster.json -workflow nighres.json
 package main
 
@@ -42,6 +43,8 @@ func Main(args []string, stdout io.Writer) int {
 		dirtyRatio = fs.Float64("dirty-ratio", 0.20, "vm.dirty_ratio as a fraction")
 		expire     = fs.Float64("dirty-expire", 30, "dirty expiry seconds")
 		policyStr  = fs.String("policy", "", "cache replacement policy (default: lru; also clock, fifo, lfu)")
+		wbStr      = fs.String("writeback", "", "writeback policy (default: list-order; also oldest-first, file-rr, proportional)")
+		dirtyBG    = fs.Float64("dirty-background", 0, "vm.dirty_background_ratio as a fraction (0 disables background writeback)")
 		memBW      = fs.Float64("mem-bw", 4812, "memory bandwidth (MBps, symmetric)")
 		diskBW     = fs.Float64("disk-bw", 465, "disk bandwidth (MBps, symmetric)")
 		cpuSec     = fs.Float64("cpu", -1, "injected CPU seconds per task (default: Table I fit)")
@@ -57,8 +60,12 @@ func Main(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
 		return 2
 	}
+	if err := core.ValidateWritebackPolicyName(*wbStr); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
 	if *wfPath != "" || *platPath != "" {
-		return runFromFiles(*platPath, *wfPath, *modeStr, *chunkStr, *sizeStr, *cpuSec, *policyStr, stdout)
+		return runFromFiles(*platPath, *wfPath, *modeStr, *chunkStr, *sizeStr, *cpuSec, *policyStr, *wbStr, *dirtyBG, stdout)
 	}
 	size, err := units.ParseBytes(*sizeStr)
 	if err != nil {
@@ -97,7 +104,14 @@ func Main(args []string, stdout io.Writer) int {
 	sim := engine.NewSimulation()
 	memSpec := platform.DeviceSpec{Name: "node0.mem", ReadBW: units.MBps(*memBW), WriteBW: units.MBps(*memBW)}
 	host := platform.HostSpec{Name: "node0", Cores: 32, FlopRate: 1e9, MemoryCap: ram, Memory: memSpec}
-	cfg := core.Config{TotalMem: ram, DirtyRatio: *dirtyRatio, DirtyExpire: *expire, FlushInterval: 5, Policy: *policyStr}
+	cfg := core.Config{
+		TotalMem: ram, DirtyRatio: *dirtyRatio, DirtyBackgroundRatio: *dirtyBG,
+		DirtyExpire: *expire, FlushInterval: 5, Policy: *policyStr, Writeback: *wbStr,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
 	hr, err := sim.AddHost(host, mode, cfg, chunk)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)

@@ -115,3 +115,27 @@ func TestPcsimBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestPcsimWritebackFlags(t *testing.T) {
+	// Every registered writeback policy runs the basic pipeline, with and
+	// without background writeback; unknown names and bad ratios fail fast.
+	for _, wb := range []string{"list-order", "oldest-first", "file-rr", "proportional"} {
+		var b strings.Builder
+		args := []string{"-size", "500MB", "-ram", "4GiB", "-writeback", wb, "-dirty-background", "0.1"}
+		if code := Main(args, &b); code != 0 {
+			t.Fatalf("writeback %s: exit %d", wb, code)
+		}
+		if !strings.Contains(b.String(), "makespan") {
+			t.Fatalf("writeback %s: output %s", wb, b.String())
+		}
+	}
+	for _, args := range [][]string{
+		{"-writeback", "elevator"},
+		{"-size", "500MB", "-ram", "4GiB", "-dirty-background", "0.5"}, // ≥ dirty-ratio
+	} {
+		var b strings.Builder
+		if code := Main(args, &b); code != 2 {
+			t.Fatalf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"cgroups", "cgroup usage"},
 		{"burstbuffer", "burst buffer"},
 		{"policies", "policy comparison"},
+		{"writeback", "writeback comparison"},
 	}
 	for _, c := range cases {
 		c := c

@@ -58,9 +58,29 @@ type Group struct {
 	ctl   *Controller
 }
 
-// NewGroup reserves `limit` bytes for a new group. It fails when the
-// host's RAM is over-committed.
+// Spec describes one memory cgroup. CachePolicy and WritebackPolicy select
+// the group's private replacement and writeback policies by core registry
+// name (cgroup v2 exposes per-group reclaim behavior the same way); empty
+// fields inherit the controller's base configuration, so a single host can
+// run groups with different policies side by side.
+type Spec struct {
+	Name            string
+	Limit           int64  // memory.limit_in_bytes: anon + page cache
+	CachePolicy     string // replacement policy ("" = controller base)
+	WritebackPolicy string // writeback policy ("" = controller base)
+}
+
+// NewGroup reserves `limit` bytes for a new group inheriting the
+// controller's base policies. It fails when the host's RAM is
+// over-committed.
 func (c *Controller) NewGroup(name string, limit int64) (*Group, error) {
+	return c.NewGroupSpec(Spec{Name: name, Limit: limit})
+}
+
+// NewGroupSpec reserves spec.Limit bytes for a new group with the spec's
+// policy choices. Unknown policy names fail here, at configuration time.
+func (c *Controller) NewGroupSpec(spec Spec) (*Group, error) {
+	name, limit := spec.Name, spec.Limit
 	if _, ok := c.groups[name]; ok {
 		return nil, fmt.Errorf("cgroup: group %q exists", name)
 	}
@@ -73,9 +93,15 @@ func (c *Controller) NewGroup(name string, limit int64) (*Group, error) {
 	}
 	cfg := c.base
 	cfg.TotalMem = limit
+	if spec.CachePolicy != "" {
+		cfg.Policy = spec.CachePolicy
+	}
+	if spec.WritebackPolicy != "" {
+		cfg.Writeback = spec.WritebackPolicy
+	}
 	mgr, err := core.NewManager(cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cgroup: group %q: %w", name, err)
 	}
 	model, err := engine.NewCoreModel(mgr, c.chunk, engine.ModeWriteback)
 	if err != nil {

@@ -169,3 +169,89 @@ func TestGroupUsageTracksManager(t *testing.T) {
 	}
 	g.Manager().ReleaseAnon(500)
 }
+
+// TestMixedPolicyGroups runs two groups with different replacement AND
+// writeback policies on one host: each group's private manager must carry
+// its own spec'd policies (while a spec-less group inherits the controller
+// base), the mixed host must simulate cleanly, and unknown names must fail
+// at group creation.
+func TestMixedPolicyGroups(t *testing.T) {
+	sim := engine.NewSimulation()
+	ram := int64(100000)
+	host, err := sim.AddHost(platform.HostSpec{
+		Name: "h", Cores: 2, FlopRate: 1e9, MemoryCap: ram,
+		Memory: platform.DeviceSpec{Name: "h.mem", ReadBW: 1000, WriteBW: 1000},
+	}, engine.ModeWriteback, core.DefaultConfig(ram), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk, err := host.AddDisk(platform.DeviceSpec{Name: "h.disk", ReadBW: 100, WriteBW: 100}, "scratch", 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(ram, core.DefaultConfig(ram), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock, err := ctl.NewGroupSpec(Spec{Name: "clock", Limit: 40000,
+		CachePolicy: "clock", WritebackPolicy: "file-rr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lru, err := ctl.NewGroupSpec(Spec{Name: "lru", Limit: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := clock.Manager().Policy().Name(); got != "clock" {
+		t.Fatalf("clock group runs %q", got)
+	}
+	if got := clock.Manager().WritebackPolicy().Name(); got != "file-rr" {
+		t.Fatalf("clock group writes back with %q", got)
+	}
+	if got := lru.Manager().Policy().Name(); got != core.DefaultPolicyName {
+		t.Fatalf("lru group runs %q", got)
+	}
+	if got := lru.Manager().WritebackPolicy().Name(); got != core.DefaultWritebackPolicyName {
+		t.Fatalf("lru group writes back with %q", got)
+	}
+	if _, err := ctl.NewGroupSpec(Spec{Name: "bad", Limit: 1000, CachePolicy: "nope"}); err == nil {
+		t.Fatal("unknown cache policy accepted")
+	}
+	if _, err := ctl.NewGroupSpec(Spec{Name: "bad", Limit: 1000, WritebackPolicy: "nope"}); err == nil {
+		t.Fatal("unknown writeback policy accepted")
+	}
+
+	for _, f := range []string{"c.bin", "l.bin"} {
+		if _, err := disk.CreateSized(f, 2000); err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.NS.Place(f, disk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run := func(g *Group, inst int, in, out string) {
+		sim.SpawnAppWithModel(host, g, inst, g.Name(), func(a *engine.App) error {
+			if err := a.ReadFile(in, g.Name()+"-read"); err != nil {
+				return err
+			}
+			if err := a.WriteFile(out, 2000, disk, g.Name()+"-write"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			return a.ReadFile(out, g.Name()+"-reread")
+		})
+	}
+	run(clock, 0, "c.bin", "c.out")
+	run(lru, 1, "l.bin", "l.out")
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Group{clock, lru} {
+		if err := g.Manager().CheckInvariants(); err != nil {
+			t.Fatalf("group %s: %v", g.Name(), err)
+		}
+		if g.Usage() > g.Limit() {
+			t.Fatalf("group %s exceeded its limit", g.Name())
+		}
+	}
+}

@@ -11,9 +11,11 @@ import "fmt"
 // (dprev/dnext, threading the list's dirty blocks in list order) and the
 // per-file chain (fprev/fnext, threading the list's blocks of one file in
 // list order) — plus the Manager-level expiry-queue links (eprev/enext,
-// threading all dirty blocks of both lists in Entry order). They exist so
-// the Manager's scans touch only the blocks they are actually about instead
-// of walking the whole cache.
+// threading all dirty blocks of both lists in Entry order) and the
+// writeback-policy links (wprev/wnext, threading a file's dirty blocks in
+// Entry order for the file-queue writeback policies). They exist so the
+// Manager's scans touch only the blocks they are actually about instead of
+// walking the whole cache.
 type Block struct {
 	File       string
 	Size       int64
@@ -32,7 +34,9 @@ type Block struct {
 	dprev, dnext *Block // dirty sublist of the owning list (nil unless Dirty)
 	fprev, fnext *Block // per-file chain of the owning list
 	eprev, enext *Block // Manager expiry queue (nil unless Dirty)
-	owner        *List
+	wprev, wnext *Block // writeback policy's per-file dirty queue (nil unless
+	// Dirty and the manager runs a file-queue writeback policy)
+	owner *List
 }
 
 // InList reports which list currently holds the block (nil if none).

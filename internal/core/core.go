@@ -17,9 +17,27 @@
 // Config.Policy from a registry ("lru" — the paper's two-list sorted LRU
 // and the default, bit-identical to the pre-seam implementation; "clock" —
 // kernel-style second chance with a reference bit; "fifo" — the degenerate
-// insertion-order baseline; "lfu" — segmented frequency-decay). The
-// accounting machinery (dirty sublists, per-file chains, expiry queue,
-// byte counters, OOM arithmetic) is shared by all policies.
+// insertion-order baseline; "lfu" — segmented frequency-decay, half-life
+// tunable via Config.LFUHalfLife). The accounting machinery (dirty
+// sublists, per-file chains, expiry queue, byte counters, OOM arithmetic)
+// is shared by all policies.
+//
+// Writeback is a third seam: the order dirty blocks are persisted in by
+// Flush and FlushExpired lives behind the WritebackPolicy interface,
+// selected by Config.Writeback from its own registry ("list-order" — the
+// paper's implicit order, front dirty block of the replacement policy's
+// lists, bit-identical to the pre-seam implementation and the default;
+// "oldest-first" — global Entry order off the expiry queue; "file-rr" —
+// per-file round robin, the shape of Linux's per-inode b_io writeback;
+// "proportional" — largest per-file dirty backlog first, approximating
+// Linux's proportional writeback). The flush mechanics
+// (clean-before-write, partial-flush splits, blocking-write restarts,
+// expiry bookkeeping) are shared; policies only select the next victim,
+// fed by dirty-lifecycle notifications. Config.DirtyBackgroundRatio
+// additionally splits the dirty threshold into Linux's real pair: writers
+// throttle at DirtyRatio while the periodic flusher asynchronously writes
+// back above the background threshold (0 — the default — keeps the paper's
+// single-threshold model).
 //
 // # Complexity of the Manager operations
 //
@@ -56,6 +74,24 @@
 //	Policy.Rebalance               LRU: O(blocks demoted); others: O(1) no-op
 //	Manager.CacheBytes/Dirty/...   O(1) → O(k) counter sums
 //	Manager.Flush restart peek     O(1) → O(k) dirty-front peeks
+//
+// The writeback-seam operations keep the same contract (g = files that
+// currently hold dirty data):
+//
+//	WritebackPolicy.NoteDirty      O(1): queue/ring link (file-queue
+//	                               policies); no-op for list-order and
+//	                               oldest-first, whose orders are the dirty
+//	                               sublists and the expiry queue
+//	WritebackPolicy.NoteClean      O(1) unlink (+ ring retire on last block)
+//	WritebackPolicy.NoteFlushed    O(1): ring-cursor advance (file-rr only)
+//	WritebackPolicy.NextDirty      list-order O(k) front peek; oldest-first
+//	                               O(1) expiry-queue head; file-rr O(1) ring
+//	                               cursor; proportional O(g) ring scan
+//	WritebackPolicy.NextExpired    O(1) expiry-queue head check for every
+//	                               policy; list-order then walks only the
+//	                               dirty sublists, worst case O(d)
+//	Manager.FlushBackground        O(1) when disabled or under threshold,
+//	                               else the Flush costs above per block
 //
 // Additionally, adjacent same-file clean blocks with identical entry and
 // access times — the products of repeated partial flush/demotion splits —

@@ -1,21 +1,26 @@
 package core
 
 // RunPeriodicFlusher executes Algorithm 1: an infinite loop that flushes
-// expired dirty blocks and sleeps the remainder of each flush interval.
-// `sleep` suspends the simulated background thread; `hostOn` lets the
-// driver terminate the loop (the algorithm's "while host is on"). The
-// engine runs this inside a dedicated simulated process; the sequential
-// prototype emulates it with catch-up calls instead.
+// expired dirty blocks — plus, when Config.DirtyBackgroundRatio is set, the
+// dirty data exceeding the background threshold (the kernel's
+// dirty_background_ratio writeback, which starts persisting data long
+// before writers are throttled at DirtyRatio) — and sleeps the remainder of
+// each flush interval. `sleep` suspends the simulated background thread;
+// `hostOn` lets the driver terminate the loop (the algorithm's "while host
+// is on"). The engine runs this inside a dedicated simulated process; the
+// sequential prototype emulates it with catch-up calls instead.
 //
-// Each wake-up costs O(1) real time when nothing is expired: FlushExpired
-// answers the idle case from the manager's expiry-queue head instead of
-// scanning the LRU lists, so hosts with large quiescent caches no longer
-// pay a full-cache walk every FlushInterval.
+// Each wake-up costs O(1) real time when nothing is expired and the cache
+// is under the background threshold: FlushExpired answers the idle case
+// from the manager's expiry-queue head instead of scanning the LRU lists,
+// and FlushBackground is a counter comparison, so hosts with large
+// quiescent caches no longer pay a full-cache walk every FlushInterval.
 func RunPeriodicFlusher(c Caller, m *Manager, sleep func(seconds float64), hostOn func() bool) {
 	interval := m.Config().FlushInterval
 	for hostOn() {
 		start := c.Now()
 		m.FlushExpired(c)
+		m.FlushBackground(c)
 		elapsed := c.Now() - start
 		if elapsed < interval {
 			sleep(interval - elapsed)

@@ -197,8 +197,16 @@ func (io *IOController) WriteChunk(c Caller, file string, chunkSize int64) error
 	}
 	remaining := chunkSize - memAmt // line 11
 	for remaining > 0 {             // lines 12-18
+		throttleStart := c.Now()
 		flushed := m.Flush(c, chunkSize-memAmt)
 		evicted := m.Evict(chunkSize-memAmt-m.Free(), "")
+		// The writer is over the dirty threshold and just waited for
+		// synchronous writeback — the balance_dirty_pages stall the
+		// writeback ablation measures. Metered around the flush/evict wait
+		// only (the remainder's memory copy happens under the threshold
+		// too, uncounted), accumulated per iteration so stalls cut short by
+		// ErrOutOfMemory still register.
+		m.addThrottled(c.Now() - throttleStart)
 		toCache := m.Free()
 		if remaining < toCache {
 			toCache = remaining

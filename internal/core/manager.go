@@ -25,12 +25,30 @@ type Config struct {
 	// evicted. Off by default (faithful to the paper); an ablation
 	// benchmark quantifies its effect.
 	EvictExcludesOpenWrites bool
+	// DirtyBackgroundRatio is vm.dirty_background_ratio: the dirty
+	// fraction of available memory past which the asynchronous flusher
+	// starts writing back un-expired dirty data, long before writers hit
+	// the DirtyRatio throttle. 0 (the default) disables background
+	// writeback, keeping the paper's single-threshold model; when set it
+	// must be strictly below DirtyRatio (Linux: 0.10 vs 0.20). The engine's
+	// periodic flusher enforces it each wake-up (Manager.FlushBackground).
+	DirtyBackgroundRatio float64
 	// Policy selects the replacement policy by registry name ("lru",
 	// "clock", "fifo", "lfu", plus anything RegisterPolicy added). Empty
 	// selects DefaultPolicyName, the paper's two-list sorted LRU. Unknown
 	// names are rejected by Validate — at configuration time, with the
 	// registered names listed — never mid-simulation.
 	Policy string
+	// Writeback selects the writeback policy — the order dirty blocks are
+	// flushed in — by registry name ("list-order", "oldest-first",
+	// "file-rr", "proportional", plus anything RegisterWritebackPolicy
+	// added). Empty selects DefaultWritebackPolicyName, the paper's list
+	// scan order. Unknown names are rejected by Validate.
+	Writeback string
+	// LFUHalfLife overrides the segmented-LFU policy's frequency-decay
+	// half-life in simulated seconds (0 selects the built-in default of
+	// 60 s; other policies ignore it). Negative values are rejected.
+	LFUHalfLife float64
 }
 
 // DefaultConfig returns the paper's configuration for a host with the given
@@ -55,8 +73,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: DirtyExpire must be non-negative")
 	case c.FlushInterval <= 0:
 		return fmt.Errorf("core: FlushInterval must be positive")
+	case c.DirtyBackgroundRatio < 0:
+		return fmt.Errorf("core: DirtyBackgroundRatio must be non-negative")
+	case c.DirtyBackgroundRatio > 0 && c.DirtyBackgroundRatio >= c.DirtyRatio:
+		return fmt.Errorf("core: DirtyBackgroundRatio (%g) must be below DirtyRatio (%g)",
+			c.DirtyBackgroundRatio, c.DirtyRatio)
+	case c.LFUHalfLife < 0:
+		return fmt.Errorf("core: LFUHalfLife must be non-negative")
 	}
-	return ValidatePolicyName(c.Policy)
+	if err := ValidatePolicyName(c.Policy); err != nil {
+		return err
+	}
+	return ValidateWritebackPolicyName(c.Writeback)
 }
 
 // Manager is the paper's Memory Manager (§III.A): it owns the cache's byte
@@ -79,6 +107,7 @@ func (c Config) Validate() error {
 type Manager struct {
 	cfg     Config
 	pol     Policy
+	wb      WritebackPolicy
 	anon    int64
 	cached  map[string]int64 // per-file cached bytes
 	writing map[string]int   // open-for-write refcounts (extension heuristic)
@@ -91,6 +120,13 @@ type Manager struct {
 	// readHits/readMisses count cached vs disk-served application read
 	// bytes (the policy-ablation experiment's hit-ratio metric).
 	readHits, readMisses int64
+
+	// flushedBytes counts bytes written back by Flush and FlushExpired;
+	// throttledSec accumulates simulated time writers spent in the
+	// over-threshold foreground-flush loop (the writeback-ablation
+	// experiment's observables).
+	flushedBytes int64
+	throttledSec float64
 
 	// ForcedEvictions counts safety-valve direct reclaims (see UseAnon);
 	// zero in well-formed workloads.
@@ -106,9 +142,17 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cp, ok := pol.(ConfigurablePolicy); ok {
+		cp.Configure(cfg)
+	}
+	wb, err := newWritebackPolicy(cfg.Writeback)
+	if err != nil {
+		return nil, err
+	}
 	return &Manager{
 		cfg:     cfg,
 		pol:     pol,
+		wb:      wb,
 		cached:  make(map[string]int64),
 		writing: make(map[string]int),
 	}, nil
@@ -119,6 +163,9 @@ func (m *Manager) Config() Config { return m.cfg }
 
 // Policy returns the manager's replacement policy.
 func (m *Manager) Policy() Policy { return m.pol }
+
+// WritebackPolicy returns the manager's writeback policy.
+func (m *Manager) WritebackPolicy() WritebackPolicy { return m.wb }
 
 // Inactive and Active expose the policy's lists (read-only use: tests,
 // tracing): for the default two-list LRU these are the paper's inactive and
@@ -181,10 +228,36 @@ func (m *Manager) Free() int64 { return m.cfg.TotalMem - m.anon - m.CacheBytes()
 // The dirty threshold is a fraction of this quantity.
 func (m *Manager) Available() int64 { return m.cfg.TotalMem - m.anon }
 
-// DirtyThreshold returns the current dirty-data ceiling in bytes.
+// DirtyThreshold returns the current dirty-data ceiling in bytes — the
+// foreground threshold past which writers are throttled (vm.dirty_ratio).
 func (m *Manager) DirtyThreshold() int64 {
 	return int64(m.cfg.DirtyRatio * float64(m.Available()))
 }
+
+// DirtyBackgroundThreshold returns the background writeback threshold in
+// bytes (vm.dirty_background_ratio): past it the asynchronous flusher
+// writes back un-expired dirty data. 0 means background writeback is
+// disabled (the paper's single-threshold model).
+func (m *Manager) DirtyBackgroundThreshold() int64 {
+	if m.cfg.DirtyBackgroundRatio <= 0 {
+		return 0
+	}
+	return int64(m.cfg.DirtyBackgroundRatio * float64(m.Available()))
+}
+
+// FlushedBytes returns the bytes written back by Flush and FlushExpired
+// since construction (the writeback-ablation experiment's flush-volume
+// observable).
+func (m *Manager) FlushedBytes() int64 { return m.flushedBytes }
+
+// WriteThrottledSeconds returns the cumulative simulated time writers spent
+// throttled — blocked in the over-threshold foreground flush-evict-retry
+// loop of Algorithm 3 (balance_dirty_pages in the kernel). Accumulated by
+// the IOController.
+func (m *Manager) WriteThrottledSeconds() float64 { return m.throttledSec }
+
+// addThrottled accumulates writer-throttle time (IOController.WriteChunk).
+func (m *Manager) addThrottled(d float64) { m.throttledSec += d }
 
 // Evictable returns the clean bytes in the policy's evictable lists (the
 // inactive list under the default LRU), excluding blocks of `exclude` and of
@@ -251,6 +324,38 @@ func (m *Manager) enqueueExpiryAfter(b, pos *Block) {
 	} else {
 		m.eqTail = b
 	}
+}
+
+// noteDirty records a freshly created dirty block: it enters the expiry
+// queue and the writeback policy's order.
+func (m *Manager) noteDirty(b *Block) {
+	m.enqueueExpiry(b)
+	m.wb.NoteDirty(m, b, nil)
+}
+
+// noteDirtySplit records a dirty block split off queued dirty block
+// sibling: the halves share File and Entry, so b slots in right next to
+// sibling in both the expiry queue and the writeback policy's order.
+func (m *Manager) noteDirtySplit(b, sibling *Block) {
+	m.enqueueExpiryAfter(b, sibling)
+	m.wb.NoteDirty(m, b, sibling)
+}
+
+// noteClean records that b left the dirty set (flushed or invalidated):
+// it leaves the expiry queue and the writeback policy's order.
+func (m *Manager) noteClean(b *Block) {
+	m.dequeueExpiry(b)
+	m.wb.NoteClean(m, b)
+}
+
+// fileDirtyBytes returns file's dirty bytes across the policy's lists, from
+// the incremental per-file counters: O(lists).
+func (m *Manager) fileDirtyBytes(file string) int64 {
+	var n int64
+	for _, l := range m.pol.Lists() {
+		n += l.FileDirtyBytes(file)
+	}
+	return n
 }
 
 // dequeueExpiry unlinks b from the expiry queue (block cleaned or dropped).
@@ -360,41 +465,49 @@ func (m *Manager) Evict(amount int64, exclude string) int64 {
 }
 
 // Flush writes up to `amount` bytes of dirty data to the blocks' backing
-// stores in the policy's flush order — front dirty block of the first list
-// first (§III.A.3 for the default LRU: least recently used, inactive list
-// before active list). Partially flushed blocks are split; the flushed part
-// becomes clean. Flushing takes simulated disk-write time through c.
-// Non-positive amounts are no-ops. Returns the flushed byte count.
+// stores in the writeback policy's flush order (the default list-order:
+// front dirty block of the first list first — §III.A.3 for the default LRU,
+// least recently used, inactive list before active list). Partially flushed
+// blocks are split; the flushed part becomes clean. Flushing takes
+// simulated disk-write time through c. Non-positive amounts are no-ops.
+// Returns the flushed byte count.
 //
-// The scan restarts after every blocking write so that concurrent list
+// The selection restarts after every blocking write so that concurrent list
 // mutations (other simulated processes) are observed — and thanks to the
-// dirty sublists each restart is an O(lists) front peek, not a list walk.
+// writeback policies' incremental structures each restart is an O(1)–
+// O(lists) peek, not a list walk.
 func (m *Manager) Flush(c Caller, amount int64) int64 {
 	if amount <= 0 {
 		return 0
 	}
 	var flushed int64
 	for flushed < amount {
-		l, b := m.nextDirty()
+		b := m.wb.NextDirty(m)
 		if b == nil {
 			break
 		}
-		n := m.cleanBlockPrefix(l, b, amount-flushed)
+		n := m.cleanBlockPrefix(b.owner, b, amount-flushed)
+		m.wb.NoteFlushed(m, b)
 		flushed += n
-		c.DiskWrite(b.File, n) // blocking; scan restarts afterwards
+		m.flushedBytes += n
+		c.DiskWrite(b.File, n) // blocking; selection restarts afterwards
 	}
 	return flushed
 }
 
-// nextDirty returns the first dirty block in the policy's flush order: the
-// dirty sublists' front blocks, lists in scan order. O(lists).
-func (m *Manager) nextDirty() (*List, *Block) {
-	for _, l := range m.pol.Lists() {
-		if b := l.FrontDirty(); b != nil {
-			return l, b
-		}
+// FlushBackground writes back the dirty data exceeding the background
+// threshold (vm.dirty_background_ratio), in the writeback policy's flush
+// order. A no-op when background writeback is disabled (the default) or the
+// cache is below the threshold. The engine's periodic flusher calls it on
+// every wake-up, after the expiry pass. Returns the flushed byte count.
+func (m *Manager) FlushBackground(c Caller) int64 {
+	// Gate on the configured ratio, not the computed byte threshold: under
+	// extreme anonymous-memory pressure the threshold can truncate to 0,
+	// and that must mean "flush everything", not "disabled".
+	if m.cfg.DirtyBackgroundRatio <= 0 {
+		return 0
 	}
-	return nil, nil
+	return m.Flush(c, m.Dirty()-m.DirtyBackgroundThreshold())
 }
 
 // cleanBlockPrefix marks up to `want` bytes of dirty block b clean
@@ -406,7 +519,7 @@ func (m *Manager) nextDirty() (*List, *Block) {
 func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 	if b.Size <= want {
 		l.markClean(b)
-		m.dequeueExpiry(b)
+		m.noteClean(b)
 		return b.Size
 	}
 	l.resize(b, b.Size-want)
@@ -418,39 +531,25 @@ func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 
 // FlushExpired implements the body of the periodic flusher (Algorithm 1):
 // every dirty block older than DirtyExpire is cleaned and written to its
-// backing store. Returns flushed bytes.
+// backing store, in the writeback policy's expiry order (default
+// list-order: inactive list before active list, LRU first; the other
+// policies flush globally oldest-first). The expiry-queue head answers the
+// common "nothing expired" case in O(1) for every policy. Returns flushed
+// bytes.
 func (m *Manager) FlushExpired(c Caller) int64 {
 	var flushed int64
 	for {
 		now := c.Now()
-		l, b := m.nextExpired(now)
+		b := m.wb.NextExpired(m, now)
 		if b == nil {
 			return flushed
 		}
-		l.markClean(b)
-		m.dequeueExpiry(b)
+		b.owner.markClean(b)
+		m.noteClean(b)
 		flushed += b.Size
+		m.flushedBytes += b.Size
 		c.DiskWrite(b.File, b.Size) // blocking; rescan afterwards
 	}
-}
-
-// nextExpired returns the first expired dirty block in the policy's flush
-// order (default LRU: inactive list before active list, LRU first). The
-// expiry-queue head — the globally oldest dirty block — answers the common
-// "nothing expired" case in O(1); otherwise only the dirty sublists are
-// walked.
-func (m *Manager) nextExpired(now float64) (*List, *Block) {
-	if m.eqHead == nil || now-m.eqHead.Entry < m.cfg.DirtyExpire {
-		return nil, nil
-	}
-	for _, l := range m.pol.Lists() {
-		for b := l.FrontDirty(); b != nil; b = b.dnext {
-			if now-b.Entry >= m.cfg.DirtyExpire {
-				return l, b
-			}
-		}
-	}
-	return nil, nil
 }
 
 // AddToCache inserts n freshly disk-read bytes of file as one clean block at
@@ -493,7 +592,7 @@ func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 	}
 	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true}
 	m.pol.Insert(m, b)
-	m.enqueueExpiry(b)
+	m.noteDirty(b)
 	m.addCached(file, n)
 	m.pol.Rebalance(m)
 	c.MemWrite(n)
@@ -530,7 +629,7 @@ func (m *Manager) InvalidateFile(file string) int64 {
 			next := b.fnext
 			dropped += b.Size
 			if b.Dirty {
-				m.dequeueExpiry(b)
+				m.noteClean(b)
 			}
 			l.Remove(b)
 			b = next
@@ -549,6 +648,13 @@ type Stats struct {
 	ActiveBytes, InactiveBytes                 int64
 	ActiveBlocks, InactiveBlocks               int
 	DirtyThreshold                             int64
+	// DirtyBackgroundThreshold is the async-writeback start threshold
+	// (0: background writeback disabled).
+	DirtyBackgroundThreshold int64
+	// ReadHitBytes/ReadMissBytes are the cumulative read-hit counters at
+	// snapshot time (zero for models that do not track them), so samplers
+	// can record hit-ratio evolution as a time series.
+	ReadHitBytes, ReadMissBytes int64
 }
 
 // Snapshot returns current statistics. For policies with more than two
@@ -563,17 +669,20 @@ func (m *Manager) Snapshot() Stats {
 		blocks += l.Len()
 	}
 	return Stats{
-		Total:          m.cfg.TotalMem,
-		Anon:           m.anon,
-		Cache:          cache,
-		Dirty:          m.Dirty(),
-		Free:           m.Free(),
-		Available:      m.Available(),
-		ActiveBytes:    cache - inact.Bytes(),
-		InactiveBytes:  inact.Bytes(),
-		ActiveBlocks:   blocks - inact.Len(),
-		InactiveBlocks: inact.Len(),
-		DirtyThreshold: m.DirtyThreshold(),
+		Total:                    m.cfg.TotalMem,
+		Anon:                     m.anon,
+		Cache:                    cache,
+		Dirty:                    m.Dirty(),
+		Free:                     m.Free(),
+		Available:                m.Available(),
+		ActiveBytes:              cache - inact.Bytes(),
+		InactiveBytes:            inact.Bytes(),
+		ActiveBlocks:             blocks - inact.Len(),
+		InactiveBlocks:           inact.Len(),
+		DirtyThreshold:           m.DirtyThreshold(),
+		DirtyBackgroundThreshold: m.DirtyBackgroundThreshold(),
+		ReadHitBytes:             m.readHits,
+		ReadMissBytes:            m.readMisses,
 	}
 }
 
@@ -600,10 +709,12 @@ func (m *Manager) CachedFiles() []string {
 // invariants plus the index structures this package maintains incrementally:
 // per-list dirty sublists (order and membership), per-file chains (order,
 // membership, byte totals), and the manager-wide expiry queue (membership
-// and Entry order) — and then the policy's own structural invariants
+// and Entry order) — and then the policies' own structural invariants
 // (Policy.CheckInvariants: list ordering for the access-ordered policies,
-// bucket assignment for LFU). Tests call it after randomized operation
-// sequences. It returns an error describing the first violation found.
+// bucket assignment for LFU; WritebackPolicy.CheckInvariants: per-file
+// dirty-queue and ring structure for the file-queue writeback policies).
+// Tests call it after randomized operation sequences. It returns an error
+// describing the first violation found.
 func (m *Manager) CheckInvariants() error {
 	var perFile = map[string]int64{}
 	dirtySet := map[*Block]bool{}
@@ -731,5 +842,8 @@ func (m *Manager) CheckInvariants() error {
 	if m.anon < 0 {
 		return fmt.Errorf("negative anon: %d", m.anon)
 	}
-	return m.pol.CheckInvariants(m)
+	if err := m.pol.CheckInvariants(m); err != nil {
+		return err
+	}
+	return m.wb.CheckInvariants(m)
 }

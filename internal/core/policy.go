@@ -63,6 +63,15 @@ type Policy interface {
 	CheckInvariants(m *Manager) error
 }
 
+// ConfigurablePolicy is an optional interface a Policy may implement to
+// consume Config knobs at Manager construction time, after the factory ran
+// and before any block is inserted — the segmented LFU reads
+// Config.LFUHalfLife this way. Validation of the knobs themselves belongs
+// in Config.Validate, which runs first.
+type ConfigurablePolicy interface {
+	Configure(cfg Config)
+}
+
 // DefaultPolicyName is the policy used when Config.Policy is empty: the
 // paper's two-list sorted LRU (§III.A).
 const DefaultPolicyName = "lru"

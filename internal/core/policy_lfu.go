@@ -13,10 +13,11 @@ func init() {
 	})
 }
 
-// lfuDefaultHalfLife is the frequency-decay half-life in simulated seconds:
-// every half-life that passes without an access halves a block's effective
-// frequency, so bursts of historical popularity age out instead of pinning
-// blocks forever (plain LFU's classic failure mode).
+// lfuDefaultHalfLife is the default frequency-decay half-life in simulated
+// seconds: every half-life that passes without an access halves a block's
+// effective frequency, so bursts of historical popularity age out instead
+// of pinning blocks forever (plain LFU's classic failure mode). Overridden
+// per manager by Config.LFUHalfLife (platform JSON: "lfuHalfLife").
 const lfuDefaultHalfLife = 60
 
 // lfuBuckets is the number of frequency classes. Four levels (0, 1, 2-3,
@@ -38,6 +39,14 @@ type lfuPolicy struct {
 	buckets  [lfuBuckets]*List
 	lists    []*List
 	halfLife float64
+}
+
+// Configure applies Config.LFUHalfLife (ConfigurablePolicy): 0 keeps the
+// default. Validation (non-negativity) already ran in Config.Validate.
+func (p *lfuPolicy) Configure(cfg Config) {
+	if cfg.LFUHalfLife > 0 {
+		p.halfLife = cfg.LFUHalfLife
+	}
 }
 
 func (p *lfuPolicy) Name() string            { return "lfu" }

@@ -61,7 +61,7 @@ func (p *lruPolicy) ReadHit(m *Manager, file string, amount int64, now float64) 
 				if moved != b {
 					// New dirty block split off a queued one: same Entry,
 					// so it slots in right next to the original.
-					m.enqueueExpiryAfter(moved, b)
+					m.noteDirtySplit(moved, b)
 				}
 			} else {
 				mergedSize += moved.Size
@@ -115,7 +115,7 @@ func (p *lruPolicy) Rebalance(m *Manager) {
 		p.inactive.InsertSorted(nb)
 		if nb.Dirty {
 			// Split of a queued dirty block: same Entry, slots in next to b.
-			m.enqueueExpiryAfter(nb, b)
+			m.noteDirtySplit(nb, b)
 		}
 	}
 }

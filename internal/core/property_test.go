@@ -17,20 +17,26 @@ import (
 //   - manager invariants (list accounting, non-negative free) hold.
 func TestPropertyIOControllerConservation(t *testing.T) {
 	for _, policy := range PolicyNames() {
-		policy := policy
-		t.Run(policy, func(t *testing.T) {
-			t.Parallel()
-			testIOControllerConservation(t, policy)
-		})
+		for _, wb := range WritebackPolicyNames() {
+			policy, wb := policy, wb
+			t.Run(policy+"/"+wb, func(t *testing.T) {
+				t.Parallel()
+				testIOControllerConservation(t, policy, wb)
+			})
+		}
 	}
 }
 
-func testIOControllerConservation(t *testing.T, policy string) {
+func testIOControllerConservation(t *testing.T, policy, wb string) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		total := int64(50000 + rng.Intn(100000))
 		cfg := DefaultConfig(total)
 		cfg.Policy = policy
+		cfg.Writeback = wb
+		if rng.Intn(2) == 0 {
+			cfg.DirtyBackgroundRatio = 0.10
+		}
 		m, err := NewManager(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -108,6 +114,7 @@ func testIOControllerConservation(t *testing.T, policy string) {
 				}
 			case 3: // background flush catch-up
 				m.FlushExpired(c)
+				m.FlushBackground(c)
 			}
 			if err := m.CheckInvariants(); err != nil {
 				t.Logf("seed %d op %d: %v", seed, op, err)
@@ -178,6 +185,110 @@ func oracleNextExpired(m *Manager, now float64) *Block {
 	return nil
 }
 
+// oracleDirtyStats rescans the main lists for the global dirty minimum
+// Entry, per-file dirty bytes and per-file minimum Entries — the reference
+// the writeback-policy selection checks compare against.
+func oracleDirtyStats(m *Manager) (minEntry float64, any bool, fileBytes map[string]int64, fileMin map[string]float64) {
+	fileBytes = map[string]int64{}
+	fileMin = map[string]float64{}
+	for _, l := range m.pol.Lists() {
+		l.Each(func(b *Block) bool {
+			if !b.Dirty {
+				return true
+			}
+			if !any || b.Entry < minEntry {
+				minEntry, any = b.Entry, true
+			}
+			if cur, ok := fileMin[b.File]; !ok || b.Entry < cur {
+				fileMin[b.File] = b.Entry
+			}
+			fileBytes[b.File] += b.Size
+			return true
+		})
+	}
+	return
+}
+
+// checkWritebackSelection verifies the writeback policy's NextDirty and
+// NextExpired against brute-force rescans. list-order has an exact order
+// oracle; the other policies are checked against the properties that define
+// them (global minimum Entry for oldest-first expiry and selection, a
+// file's own oldest dirty block for the file-queue policies, the
+// largest-backlog file for proportional) — the exact structures behind them
+// are verified block by block by CheckInvariants.
+func checkWritebackSelection(t *testing.T, m *Manager, now float64, seed int64, op int) bool {
+	wbName := m.WritebackPolicy().Name()
+	gotDirty := m.WritebackPolicy().NextDirty(m)
+	gotExp := m.WritebackPolicy().NextExpired(m, now)
+	minEntry, anyDirty, fileBytes, fileMin := oracleDirtyStats(m)
+
+	if (gotDirty == nil) != !anyDirty {
+		t.Logf("seed %d op %d: NextDirty = %v with anyDirty=%v", seed, op, gotDirty, anyDirty)
+		return false
+	}
+	if gotDirty != nil && !gotDirty.Dirty {
+		t.Logf("seed %d op %d: NextDirty returned clean block %v", seed, op, gotDirty)
+		return false
+	}
+	switch wbName {
+	case "list-order":
+		if want := oracleNextDirty(m); gotDirty != want {
+			t.Logf("seed %d op %d: NextDirty = %v, oracle %v", seed, op, gotDirty, want)
+			return false
+		}
+		if want := oracleNextExpired(m, now); gotExp != want {
+			t.Logf("seed %d op %d: NextExpired = %v, oracle %v", seed, op, gotExp, want)
+			return false
+		}
+	case "oldest-first":
+		if gotDirty != nil && gotDirty.Entry != minEntry {
+			t.Logf("seed %d op %d: NextDirty entry %v, oldest %v", seed, op, gotDirty.Entry, minEntry)
+			return false
+		}
+	case "file-rr":
+		if gotDirty != nil && gotDirty.Entry != fileMin[gotDirty.File] {
+			t.Logf("seed %d op %d: NextDirty %v is not its file's oldest (%v)",
+				seed, op, gotDirty, fileMin[gotDirty.File])
+			return false
+		}
+	case "proportional":
+		if gotDirty != nil {
+			var maxBytes int64
+			for _, v := range fileBytes {
+				if v > maxBytes {
+					maxBytes = v
+				}
+			}
+			if fileBytes[gotDirty.File] != maxBytes {
+				t.Logf("seed %d op %d: NextDirty file %s holds %d dirty, max is %d",
+					seed, op, gotDirty.File, fileBytes[gotDirty.File], maxBytes)
+				return false
+			}
+			if gotDirty.Entry != fileMin[gotDirty.File] {
+				t.Logf("seed %d op %d: NextDirty %v is not its file's oldest", seed, op, gotDirty)
+				return false
+			}
+		}
+	}
+	if wbName != "list-order" {
+		// All non-list-order policies expire globally oldest-first.
+		expired := anyDirty && now-minEntry >= m.cfg.DirtyExpire
+		if (gotExp != nil) != expired {
+			t.Logf("seed %d op %d: NextExpired = %v with expired=%v", seed, op, gotExp, expired)
+			return false
+		}
+		if gotExp != nil && gotExp.Entry != minEntry {
+			t.Logf("seed %d op %d: NextExpired entry %v, oldest %v", seed, op, gotExp.Entry, minEntry)
+			return false
+		}
+	}
+	if gotExp != nil && (!gotExp.Dirty || now-gotExp.Entry < m.cfg.DirtyExpire) {
+		t.Logf("seed %d op %d: NextExpired returned unexpired or clean block %v", seed, op, gotExp)
+		return false
+	}
+	return true
+}
+
 func oracleFileBytes(l *List, file string) (bytes, clean int64) {
 	l.Each(func(b *Block) bool {
 		if b.File == file {
@@ -204,24 +315,32 @@ func oracleFileBytes(l *List, file string) (bytes, clean int64) {
 //   - nextExpired (expiry-queue head + dirty-sublist walk) vs a full scan;
 //   - per-file byte/clean counters vs filtered list walks;
 //   - CheckInvariants, which additionally verifies the dirty sublists,
-//     per-file chains, expiry queue and policy structure block by block.
+//     per-file chains, expiry queue, policy structure and writeback-policy
+//     structure block by block.
+//
+// It runs once per (replacement policy × writeback policy) registry cell,
+// with the writeback selection checked against per-policy oracles
+// (checkWritebackSelection).
 func TestPropertyIndexedStructures(t *testing.T) {
 	for _, policy := range PolicyNames() {
-		policy := policy
-		t.Run(policy, func(t *testing.T) {
-			t.Parallel()
-			testIndexedStructures(t, policy)
-		})
+		for _, wb := range WritebackPolicyNames() {
+			policy, wb := policy, wb
+			t.Run(policy+"/"+wb, func(t *testing.T) {
+				t.Parallel()
+				testIndexedStructures(t, policy, wb)
+			})
+		}
 	}
 }
 
-func testIndexedStructures(t *testing.T, policy string) {
+func testIndexedStructures(t *testing.T, policy, wb string) {
 	files := []string{"a", "b", "c", "d", "e"}
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		cfg := DefaultConfig(100000)
 		cfg.EvictExcludesOpenWrites = rng.Intn(2) == 0
 		cfg.Policy = policy
+		cfg.Writeback = wb
 		m, err := NewManager(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -294,14 +413,7 @@ func testIndexedStructures(t *testing.T, policy string) {
 					return false
 				}
 			}
-			_, gotDirty := m.nextDirty()
-			if want := oracleNextDirty(m); gotDirty != want {
-				t.Logf("seed %d op %d: nextDirty = %v, oracle %v", seed, i, gotDirty, want)
-				return false
-			}
-			_, gotExp := m.nextExpired(c.now)
-			if want := oracleNextExpired(m, c.now); gotExp != want {
-				t.Logf("seed %d op %d: nextExpired = %v, oracle %v", seed, i, gotExp, want)
+			if !checkWritebackSelection(t, m, c.now, seed, i) {
 				return false
 			}
 			for _, l := range m.pol.Lists() {

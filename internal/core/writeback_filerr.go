@@ -1,0 +1,42 @@
+package core
+
+func init() {
+	RegisterWritebackPolicy("file-rr", func() WritebackPolicy {
+		return &fileRRWriteback{q: newWBFileQueues()}
+	})
+}
+
+// fileRRWriteback is per-inode round-robin writeback, the shape of Linux's
+// flusher: the kernel queues dirty inodes on a bdi's b_io list and writes a
+// slice of each before moving to the next, so one file with a huge dirty
+// backlog cannot monopolize the disk. Here each file's dirty blocks form an
+// Entry-ordered queue and a ring cycles over the files that have dirty
+// data: every Flush step writes the front (oldest) dirty block of the
+// cursor's file, then the cursor advances (NoteFlushed), interleaving files
+// block by block. Expiry flushing is globally oldest-first — the kernel's
+// periodic writeback also picks inodes by dirtied-when age.
+type fileRRWriteback struct {
+	q *wbFileQueues
+}
+
+func (p *fileRRWriteback) Name() string { return "file-rr" }
+
+func (p *fileRRWriteback) NoteDirty(m *Manager, b, sibling *Block) { p.q.noteDirty(b, sibling) }
+func (p *fileRRWriteback) NoteClean(m *Manager, b *Block)          { p.q.noteClean(b) }
+func (p *fileRRWriteback) NoteFlushed(m *Manager, b *Block)        { p.q.advancePast(b.File) }
+
+// NextDirty returns the oldest dirty block of the round-robin cursor's
+// file. O(1).
+func (p *fileRRWriteback) NextDirty(m *Manager) *Block {
+	if fq := p.q.current(); fq != nil {
+		return fq.head
+	}
+	return nil
+}
+
+// NextExpired returns the globally oldest dirty block when expired. O(1).
+func (p *fileRRWriteback) NextExpired(m *Manager, now float64) *Block {
+	return m.ExpiredHead(now)
+}
+
+func (p *fileRRWriteback) CheckInvariants(m *Manager) error { return p.q.checkInvariants(m) }

@@ -1,0 +1,52 @@
+package core
+
+func init() {
+	RegisterWritebackPolicy(DefaultWritebackPolicyName, func() WritebackPolicy {
+		return listOrderWriteback{}
+	})
+}
+
+// listOrderWriteback is the paper's implicit writeback order, preserved
+// bit-identically: the front dirty block of the replacement policy's lists,
+// lists in scan order (for the default LRU: least recently used dirty block,
+// inactive list before active list — §III.A.3). It keeps no structure of its
+// own; the per-list dirty sublists the Manager maintains for every policy
+// already are this order, so selection is an O(lists) front peek.
+type listOrderWriteback struct{}
+
+func (listOrderWriteback) Name() string                       { return DefaultWritebackPolicyName }
+func (listOrderWriteback) NoteDirty(*Manager, *Block, *Block) {}
+func (listOrderWriteback) NoteClean(*Manager, *Block)         {}
+func (listOrderWriteback) NoteFlushed(*Manager, *Block)       {}
+
+// NextDirty returns the first dirty block in list scan order: the dirty
+// sublists' front blocks, lists first to last. O(lists).
+func (listOrderWriteback) NextDirty(m *Manager) *Block {
+	for _, l := range m.pol.Lists() {
+		if b := l.FrontDirty(); b != nil {
+			return b
+		}
+	}
+	return nil
+}
+
+// NextExpired returns the first expired dirty block in list scan order. The
+// expiry-queue head answers the common "nothing expired" case in O(1);
+// otherwise only the dirty sublists are walked.
+func (listOrderWriteback) NextExpired(m *Manager, now float64) *Block {
+	if m.ExpiredHead(now) == nil {
+		return nil
+	}
+	for _, l := range m.pol.Lists() {
+		for b := l.FrontDirty(); b != nil; b = b.dnext {
+			if now-b.Entry >= m.cfg.DirtyExpire {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// CheckInvariants: the order is the dirty sublists', which the Manager
+// already verifies block by block.
+func (listOrderWriteback) CheckInvariants(*Manager) error { return nil }

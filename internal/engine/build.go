@@ -18,9 +18,12 @@ type Platform struct {
 
 // BuildPlatform realizes a JSON platform description on the simulation. All
 // hosts get the given cache mode; cache configuration derives from each
-// host's RAM via core.DefaultConfig, with dirtyRatio overridden when > 0 and
+// host's RAM via core.DefaultConfig, with dirtyRatio overridden when > 0,
 // the replacement policy taken from each host's "cachePolicy" field (empty:
-// the default LRU).
+// the default LRU), the writeback policy from "writebackPolicy" (empty: the
+// paper's list order), the background writeback threshold from
+// "dirtyBackgroundRatio" (0: disabled) and the LFU decay half-life from
+// "lfuHalfLife" (0: the core default).
 func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64, dirtyRatio float64) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -40,6 +43,9 @@ func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64,
 			cacheCfg.DirtyRatio = dirtyRatio
 		}
 		cacheCfg.Policy = hc.CachePolicy
+		cacheCfg.Writeback = hc.WritebackPolicy
+		cacheCfg.DirtyBackgroundRatio = hc.DirtyBackgroundRatio
+		cacheCfg.LFUHalfLife = hc.LFUHalfLife
 		hr, err := s.AddHost(spec, mode, cacheCfg, chunk)
 		if err != nil {
 			return nil, fmt.Errorf("engine: building host %s: %w", hc.Name, err)

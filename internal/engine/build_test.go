@@ -142,3 +142,100 @@ func TestBuildPlatformCachePolicy(t *testing.T) {
 		t.Fatal("unknown policy accepted")
 	}
 }
+
+func TestBuildPlatformWritebackKnobs(t *testing.T) {
+	// The per-host "writebackPolicy", "dirtyBackgroundRatio" and
+	// "lfuHalfLife" knobs must reach the built cache model.
+	cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Hosts {
+		cfg.Hosts[i].WritebackPolicy = "oldest-first"
+		cfg.Hosts[i].DirtyBackgroundRatio = 0.05
+	}
+	sim := NewSimulation()
+	p, err := sim.BuildPlatform(cfg, ModeWriteback, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.Hosts["client"].Model.Snapshot()
+	if want := int64(0.05 * float64(st.Available)); st.DirtyBackgroundThreshold != want {
+		t.Fatalf("background threshold %d, want %d", st.DirtyBackgroundThreshold, want)
+	}
+
+	cfg2, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2.Hosts[0].WritebackPolicy = "elevator"
+	if _, err := NewSimulation().BuildPlatform(cfg2, ModeWriteback, 1<<20, 0); err == nil {
+		t.Fatal("unknown writeback policy accepted")
+	}
+}
+
+func TestEnableHitTraceSeries(t *testing.T) {
+	// The hit sampler records cumulative counters: a cold read then a warm
+	// read must show the miss before the hit in the series, with the final
+	// sample matching the model's end-state counters.
+	cfg, err := platform.LoadConfig(strings.NewReader(twoNodeConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewSimulation()
+	p, err := sim.BuildPlatform(cfg, ModeWriteback, 1<<20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := p.Hosts["server"]
+	export := p.Partitions["export"]
+	if _, err := export.CreateSized("f", 10<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.NS.Place("f", export); err != nil {
+		t.Fatal(err)
+	}
+	server.EnableHitTrace(0.01)
+	sim.SpawnApp(server, 0, "app", func(a *App) error {
+		if err := a.ReadFile("f", "cold"); err != nil {
+			return err
+		}
+		a.ReleaseTaskMemory()
+		err := a.ReadFile("f", "warm")
+		a.ReleaseTaskMemory()
+		return err
+	})
+	if err := sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pts := server.HitTrace.Points
+	if len(pts) < 2 {
+		t.Fatalf("only %d hit samples", len(pts))
+	}
+	last := pts[len(pts)-1]
+	st := server.Model.Snapshot()
+	if st.ReadHitBytes != 10<<20 || st.ReadMissBytes != 10<<20 {
+		t.Fatalf("model counters %d/%d, want 10MiB hits and misses", st.ReadHitBytes, st.ReadMissBytes)
+	}
+	// The sampler stops with the run, so the last sample may predate the
+	// final hits — but it can never exceed the end-state counters.
+	if last.HitBytes > st.ReadHitBytes || last.MissBytes > st.ReadMissBytes {
+		t.Fatalf("final sample %+v exceeds model %d/%d", last, st.ReadHitBytes, st.ReadMissBytes)
+	}
+	if last.HitBytes == 0 {
+		t.Fatal("series never observed the warm (hit) phase")
+	}
+	// Counters are cumulative and non-decreasing; misses lead hits in time.
+	sawMissOnly := false
+	for i, p := range pts {
+		if i > 0 && (p.HitBytes < pts[i-1].HitBytes || p.MissBytes < pts[i-1].MissBytes) {
+			t.Fatalf("sample %d went backwards: %+v after %+v", i, p, pts[i-1])
+		}
+		if p.MissBytes > 0 && p.HitBytes == 0 {
+			sawMissOnly = true
+		}
+	}
+	if !sawMissOnly {
+		t.Fatal("series never showed the cold (miss-only) phase")
+	}
+}

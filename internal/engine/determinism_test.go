@@ -25,9 +25,9 @@ type determinismOutcome struct {
 	ClientSnapLogs []trace.CacheSnapshot
 }
 
-func determinismRun(t *testing.T, policy string) determinismOutcome {
+func determinismRun(t *testing.T, policy, writeback string) determinismOutcome {
 	t.Helper()
-	r := newNFSRig(t, policy)
+	r := newNFSRig(t, policy, writeback)
 	if err := r.client.MountRemote(r.part, r.link, MountOpts{
 		SrvMgr: r.srvMgr, SrvMem: r.server.Host.Memory(), Chunk: 10,
 	}); err != nil {
@@ -86,33 +86,36 @@ func determinismRun(t *testing.T, policy string) determinismOutcome {
 }
 
 // TestRunDeterminism runs the same concurrent NFS experiment twice — once
-// per registered cache policy — and requires the two runs to be
-// indistinguishable: identical operation sequences (order, timestamps, and
-// bytes of every logged op), identical memory-trace samples, and identical
-// final cache snapshots. This is the substrate's determinism contract: event
-// ordering and fluid rates may not depend on anything but the model inputs —
-// for every replacement policy, not just the default LRU.
+// per (replacement policy × writeback policy) registry cell — and requires
+// the two runs to be indistinguishable: identical operation sequences
+// (order, timestamps, and bytes of every logged op), identical memory-trace
+// samples, and identical final cache snapshots. This is the substrate's
+// determinism contract: event ordering and fluid rates may not depend on
+// anything but the model inputs — for every policy combination, not just
+// the defaults.
 func TestRunDeterminism(t *testing.T) {
 	for _, policy := range core.PolicyNames() {
-		policy := policy
-		t.Run(policy, func(t *testing.T) {
-			t.Parallel()
-			a := determinismRun(t, policy)
-			b := determinismRun(t, policy)
-			if len(a.Ops) == 0 {
-				t.Fatal("experiment logged no operations")
-			}
-			if !reflect.DeepEqual(a.Ops, b.Ops) {
-				for i := range a.Ops {
-					if i < len(b.Ops) && a.Ops[i] != b.Ops[i] {
-						t.Fatalf("op %d differs between runs:\n  %+v\n  %+v", i, a.Ops[i], b.Ops[i])
-					}
+		for _, wb := range core.WritebackPolicyNames() {
+			policy, wb := policy, wb
+			t.Run(policy+"/"+wb, func(t *testing.T) {
+				t.Parallel()
+				a := determinismRun(t, policy, wb)
+				b := determinismRun(t, policy, wb)
+				if len(a.Ops) == 0 {
+					t.Fatal("experiment logged no operations")
 				}
-				t.Fatalf("op logs differ in length: %d vs %d", len(a.Ops), len(b.Ops))
-			}
-			if !reflect.DeepEqual(a, b) {
-				t.Fatalf("runs differ beyond the op log:\nrun1: %+v\nrun2: %+v", a, b)
-			}
-		})
+				if !reflect.DeepEqual(a.Ops, b.Ops) {
+					for i := range a.Ops {
+						if i < len(b.Ops) && a.Ops[i] != b.Ops[i] {
+							t.Fatalf("op %d differs between runs:\n  %+v\n  %+v", i, a.Ops[i], b.Ops[i])
+						}
+					}
+					t.Fatalf("op logs differ in length: %d vs %d", len(a.Ops), len(b.Ops))
+				}
+				if !reflect.DeepEqual(a, b) {
+					t.Fatalf("runs differ beyond the op log:\nrun1: %+v\nrun2: %+v", a, b)
+				}
+			})
+		}
 	}
 }

@@ -18,11 +18,17 @@ type nfsRig struct {
 	srvMgr         *core.Manager
 }
 
+// newNFSRig builds the rig; the optional policy names select the cache
+// replacement policy (first) and the writeback policy (second) for every
+// manager in the rig.
 func newNFSRig(t *testing.T, policy ...string) *nfsRig {
 	t.Helper()
 	cfg := core.DefaultConfig(1000)
 	if len(policy) > 0 {
 		cfg.Policy = policy[0]
+	}
+	if len(policy) > 1 {
+		cfg.Writeback = policy[1]
 	}
 	sim := NewSimulation()
 	mk := func(name string) *HostRuntime {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -414,5 +415,94 @@ func TestPaperConstants(t *testing.T) {
 	p := Paper()
 	if p.Exp1WrenchErr != 345 || p.Exp1CacheErr != 39 || p.Exp4WrenchErr != 337 {
 		t.Fatalf("paper constants drifted: %+v", p)
+	}
+}
+
+func TestWritebackAblationQuick(t *testing.T) {
+	res, err := RunWritebackAblation(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Policies) < 4 {
+		t.Fatalf("expected ≥4 registered writeback policies, got %v", res.Policies)
+	}
+	// Grid: workloads × policies × {bg off, bg on}.
+	if len(res.Rows) != 2*len(res.Policies)*len(res.Workloads) {
+		t.Fatalf("grid incomplete: %d rows for %d policies × %d workloads × 2 bg ratios",
+			len(res.Rows), len(res.Policies), len(res.Workloads))
+	}
+	type cell struct {
+		wb string
+		bg float64
+	}
+	byCell := map[string]map[cell]WritebackRow{}
+	for _, row := range res.Rows {
+		if row.Makespan <= 0 {
+			t.Fatalf("%s/%s: non-positive makespan", row.Workload, row.Writeback)
+		}
+		if row.Flushed <= 0 {
+			t.Fatalf("%s/%s: nothing flushed in a write-heavy workload", row.Workload, row.Writeback)
+		}
+		if row.Throttled < 0 || row.HitRatio < 0 || row.HitRatio > 1 {
+			t.Fatalf("%s/%s: bad observables %+v", row.Workload, row.Writeback, row)
+		}
+		if byCell[row.Workload] == nil {
+			byCell[row.Workload] = map[cell]WritebackRow{}
+		}
+		byCell[row.Workload][cell{row.Writeback, row.BGRatio}] = row
+	}
+	// The write burst under memory pressure throttles writers under every
+	// policy, and background writeback must change the outcome vs the
+	// paper's single-threshold model.
+	for _, wb := range res.Policies {
+		off := byCell["writeburst-skewed24gb-32gbram"][cell{wb, 0}]
+		on := byCell["writeburst-skewed24gb-32gbram"][cell{wb, 0.10}]
+		if off.Throttled <= 0 {
+			t.Fatalf("%s: pressured write burst never throttled", wb)
+		}
+		if off.Makespan == on.Makespan && off.Flushed == on.Flushed {
+			t.Fatalf("%s: background writeback changed nothing", wb)
+		}
+	}
+	// Flush order must be visible somewhere: at least two writeback
+	// policies disagree on some observable of some cell.
+	distinct := map[string]bool{}
+	for _, row := range res.Rows {
+		if row.BGRatio != 0 {
+			continue
+		}
+		distinct[fmt.Sprintf("%s/%.3f/%d/%.3f", row.Workload, row.Makespan, row.Flushed, row.HitRatio)] = true
+	}
+	if len(distinct) <= len(res.Workloads) {
+		t.Fatalf("no writeback-policy effect anywhere: %v", distinct)
+	}
+	// Hit-ratio evolution was recorded for the local cells.
+	if len(res.Series) == 0 {
+		t.Fatal("no hit-ratio series recorded")
+	}
+	for _, s := range res.Series {
+		if len(s.Points) == 0 {
+			t.Fatalf("empty hit series for %s/%s", s.Workload, s.Writeback)
+		}
+	}
+
+	var b strings.Builder
+	res.Render(&b)
+	if !strings.Contains(b.String(), "Writeback ablation") {
+		t.Fatal("render broken")
+	}
+	b.Reset()
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "workload,writeback,dirty_background_ratio,makespan_s,flushed_bytes,write_throttle_s,read_hit_ratio") {
+		t.Fatalf("csv header: %q", b.String()[:60])
+	}
+	b.Reset()
+	if err := res.WriteSeriesCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "workload,writeback,dirty_background_ratio,t,hit_bytes,miss_bytes,hit_ratio") {
+		t.Fatalf("series csv header: %q", b.String()[:60])
 	}
 }

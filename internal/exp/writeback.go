@@ -1,0 +1,297 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/textplot"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// WritebackRow is one (workload, writeback policy, background ratio) cell
+// of the writeback-ablation study.
+type WritebackRow struct {
+	Workload  string
+	Writeback string
+	BGRatio   float64 // vm.dirty_background_ratio (0: disabled)
+	Makespan  float64 // simulated seconds until the last operation completes
+	Flushed   int64   // bytes written back by Flush/FlushExpired
+	Throttled float64 // simulated seconds writers spent throttled
+	HitRatio  float64 // cached fraction of application read bytes
+}
+
+// WritebackSeries is the hit-ratio evolution of one local cell (the
+// time-series observable the end-state tables cannot show).
+type WritebackSeries struct {
+	Workload  string
+	Writeback string
+	BGRatio   float64
+	Points    []trace.HitPoint
+}
+
+// WritebackResult collects the writeback ablation: every registered
+// writeback policy, with background writeback off and on, run on
+// write-heavy local and NFS workloads.
+type WritebackResult struct {
+	Workloads []string
+	Policies  []string
+	Rows      []WritebackRow
+	Series    []WritebackSeries
+}
+
+// wbMetrics reads the ablation observables off a manager.
+type wbMetrics struct{ mgr *core.Manager }
+
+func (w wbMetrics) row(workload, wb string, bg, makespan float64) WritebackRow {
+	ratio := trace.HitPoint{HitBytes: w.mgr.ReadHitBytes(), MissBytes: w.mgr.ReadMissBytes()}.Ratio()
+	return WritebackRow{
+		Workload: workload, Writeback: wb, BGRatio: bg, Makespan: makespan,
+		Flushed: w.mgr.FlushedBytes(), Throttled: w.mgr.WriteThrottledSeconds(),
+		HitRatio: ratio,
+	}
+}
+
+// newWritebackRig builds the paper's single-node platform in writeback mode
+// with the given writeback policy, background ratio and RAM, returning the
+// host's manager so the flush/throttle/hit counters are observable.
+func newWritebackRig(writeback string, bg float64, ram int64) (*LocalRig, *core.Manager, error) {
+	if ram <= 0 {
+		ram = RAM
+	}
+	sim := engine.NewSimulation()
+	cfg := core.DefaultConfig(ram)
+	cfg.Writeback = writeback
+	cfg.DirtyBackgroundRatio = bg
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := engine.NewCoreModel(mgr, ChunkSize, engine.ModeWriteback)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := platform.PaperHostSpec("node0", platform.SimMemorySpec("node0.mem"))
+	spec.MemoryCap = ram
+	hr, err := sim.AddHostWithModel(spec, engine.ModeWriteback, model)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := hr.AddDisk(platform.SimLocalDiskSpec("node0.disk"), "scratch", DiskCap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &LocalRig{Sim: sim, Host: hr, Part: part}, mgr, nil
+}
+
+// runWriteBurst places one write-then-reread application per entry of
+// sizes: each writes its own file and reads it back after a short compute
+// phase. The aggregate working set exceeds RAM and the sizes are
+// deliberately skewed, so per-file dirty backlogs differ and the writeback
+// order decides which blocks are clean (evictable) when the rereads arrive
+// — the write-heavy pattern that separates the policies. (With symmetric
+// writers all four orders coincide: interleaved equal-rate writers produce
+// the same effective schedule under list, age, round-robin and
+// proportional order alike.)
+func runWriteBurst(rig *LocalRig, sizes []int64) error {
+	for i, size := range sizes {
+		i, size := i, size
+		out := fmt.Sprintf("burst%d.bin", i)
+		rig.Sim.SpawnApp(rig.Host, i, fmt.Sprintf("writer%d", i), func(a *engine.App) error {
+			if err := a.WriteFile(out, size, rig.Part, "Write 1"); err != nil {
+				return err
+			}
+			a.Compute(5, "Compute 1")
+			if err := a.ReadFile(out, "Read 1"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			return nil
+		})
+	}
+	return rig.Sim.Run()
+}
+
+// runWritebackNFS executes the NFS cell: one client application per entry
+// of sizes writes its file through to a writeback server (dirty throttling
+// and flush scheduling run server-side) and reads it back. Returns the
+// server manager the observables are read from.
+func runWritebackNFS(writeback string, bg float64, srvRAM int64, sizes []int64) (*core.Manager, float64, error) {
+	sim := engine.NewSimulation()
+	client, err := sim.AddHost(
+		platform.PaperHostSpec("client", platform.SimMemorySpec("client.mem")),
+		engine.ModeWriteback, core.DefaultConfig(RAM), ChunkSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	server, err := sim.AddHost(
+		platform.PaperHostSpec("server", platform.SimMemorySpec("server.mem")),
+		engine.ModeWriteback, core.DefaultConfig(RAM), ChunkSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	part, err := server.AddDisk(platform.SimRemoteDiskSpec("server.disk"), "export", DiskCap)
+	if err != nil {
+		return nil, 0, err
+	}
+	link, err := platform.NewLink(sim.Sys, platform.ClusterNetworkSpec("net"))
+	if err != nil {
+		return nil, 0, err
+	}
+	srvCfg := core.DefaultConfig(srvRAM)
+	srvCfg.Writeback = writeback
+	srvCfg.DirtyBackgroundRatio = bg
+	srvMgr, err := core.NewManager(srvCfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := client.MountRemote(part, link, engine.MountOpts{
+		SrvMgr: srvMgr, SrvMem: server.Host.Memory(), Chunk: ChunkSize,
+		ServerWriteback: true,
+	}); err != nil {
+		return nil, 0, err
+	}
+	for i, size := range sizes {
+		i, size := i, size
+		out := fmt.Sprintf("remote%d.bin", i)
+		sim.SpawnApp(client, i, fmt.Sprintf("client%d", i), func(a *engine.App) error {
+			if err := a.WriteFile(out, size, part, "Write 1"); err != nil {
+				return err
+			}
+			a.Compute(5, "Compute 1")
+			if err := a.ReadFile(out, "Read 1"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			return nil
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return nil, 0, err
+	}
+	return srvMgr, sim.Makespan(), nil
+}
+
+// wbWorkload is one placeable cell family of the writeback ablation.
+type wbWorkload struct {
+	name string
+	ram  int64 // 0: the paper's 250 GiB
+	// run executes the workload on a prepared rig (nil for the NFS cell,
+	// which builds its own client/server pair).
+	run func(rig *LocalRig) error
+	nfs bool
+}
+
+// RunWritebackAblation runs every registered writeback policy — with
+// background writeback disabled (the paper's single-threshold model) and
+// enabled at the Linux default 0.10 — across write-heavy workloads:
+// a concurrent write-then-reread burst under memory pressure, the paper's
+// synthetic pipeline on a pressured node, and an NFS write burst against a
+// writeback server. Each cell reports makespan, flushed bytes, writer
+// throttle time and read-hit ratio; local cells additionally record the
+// hit-ratio evolution as a time series. quick thins the grid to the write
+// burst and the NFS cell.
+func RunWritebackAblation(quick bool) (*WritebackResult, error) {
+	burst := wbWorkload{name: "writeburst-skewed24gb-32gbram", ram: 32 * units.GiB,
+		run: func(rig *LocalRig) error {
+			return runWriteBurst(rig, []int64{12 * units.GB, 6 * units.GB, 3 * units.GB, 3 * units.GB})
+		}}
+	pipeline := wbWorkload{name: "synthetic-20gb-32gbram", ram: 32 * units.GiB,
+		run: func(rig *LocalRig) error {
+			w := syntheticPolicyWorkload("", 20*units.GB, 1)
+			return w.run(rig)
+		}}
+	nfsCell := wbWorkload{name: "nfs-writeburst-skewed12gb-8gbram", nfs: true}
+	workloads := []wbWorkload{burst, pipeline, nfsCell}
+	if quick {
+		workloads = []wbWorkload{burst, nfsCell}
+	}
+	bgRatios := []float64{0, 0.10}
+
+	res := &WritebackResult{Policies: core.WritebackPolicyNames()}
+	for _, w := range workloads {
+		res.Workloads = append(res.Workloads, w.name)
+		for _, wb := range res.Policies {
+			for _, bg := range bgRatios {
+				if w.nfs {
+					mgr, makespan, err := runWritebackNFS(wb, bg, 8*units.GiB,
+						[]int64{6 * units.GB, 3 * units.GB, 1500 * units.MB, 1500 * units.MB})
+					if err != nil {
+						return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
+					}
+					res.Rows = append(res.Rows, wbMetrics{mgr}.row(w.name, wb, bg, makespan))
+					continue
+				}
+				rig, mgr, err := newWritebackRig(wb, bg, w.ram)
+				if err != nil {
+					return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
+				}
+				rig.Host.EnableHitTrace(20)
+				if err := w.run(rig); err != nil {
+					return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
+				}
+				res.Rows = append(res.Rows, wbMetrics{mgr}.row(w.name, wb, bg, rig.Sim.Makespan()))
+				res.Series = append(res.Series, WritebackSeries{
+					Workload: w.name, Writeback: wb, BGRatio: bg,
+					Points: rig.Host.HitTrace.Points,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the ablation as one table per workload.
+func (r *WritebackResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Writeback ablation: flush scheduling per writeback policy ==")
+	for _, wl := range r.Workloads {
+		fmt.Fprintf(w, "\n-- %s --\n", wl)
+		t := &textplot.Table{Header: []string{
+			"writeback", "bg ratio", "makespan (s)", "flushed", "throttled (s)", "read-hit ratio"}}
+		for _, row := range r.Rows {
+			if row.Workload != wl {
+				continue
+			}
+			t.Add(row.Writeback, fmt.Sprintf("%.2f", row.BGRatio),
+				fmt.Sprintf("%.1f", row.Makespan), units.FormatBytes(row.Flushed),
+				fmt.Sprintf("%.1f", row.Throttled), fmt.Sprintf("%.3f", row.HitRatio))
+		}
+		t.Render(w)
+	}
+}
+
+// WriteCSV emits the per-cell summary rows.
+func (r *WritebackResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"workload,writeback,dirty_background_ratio,makespan_s,flushed_bytes,write_throttle_s,read_hit_ratio"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.2f,%.3f,%d,%.3f,%.4f\n",
+			row.Workload, row.Writeback, row.BGRatio, row.Makespan,
+			row.Flushed, row.Throttled, row.HitRatio); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV emits the hit-ratio evolution rows of the local cells.
+func (r *WritebackResult) WriteSeriesCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"workload,writeback,dirty_background_ratio,t,hit_bytes,miss_bytes,hit_ratio"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.2f,%.3f,%d,%d,%.4f\n",
+				s.Workload, s.Writeback, s.BGRatio, p.T, p.HitBytes, p.MissBytes, p.Ratio()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

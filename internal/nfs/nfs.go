@@ -161,12 +161,16 @@ func (r *Remote) Write(p *des.Proc, file string, n int64) {
 	_ = r.mgr.AddToCache(file, n, p.Now())
 }
 
-// BackgroundTick flushes expired server-side dirty data (only meaningful
-// for a writeback server; a no-op otherwise). The flusher process is owned
-// by whoever built the Remote.
+// BackgroundTick flushes expired server-side dirty data — plus, when the
+// server manager has a background dirty threshold configured, the dirty
+// data exceeding it — in the server's writeback-policy order (only
+// meaningful for a writeback server; a no-op otherwise). The flusher
+// process is owned by whoever built the Remote.
 func (r *Remote) BackgroundTick(p *des.Proc) {
 	if r.mgr == nil || !r.ServerWriteback {
 		return
 	}
-	r.mgr.FlushExpired(srvCaller{p: p, r: r})
+	c := srvCaller{p: p, r: r}
+	r.mgr.FlushExpired(c)
+	r.mgr.FlushBackground(c)
 }

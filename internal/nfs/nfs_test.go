@@ -225,3 +225,99 @@ func TestBackgroundTickFlushesWritebackServer(t *testing.T) {
 		t.Fatalf("server dirty = %d after tick", rg.mgr.Dirty())
 	}
 }
+
+// newRigWithWriteback is newRig with a writeback server cache running the
+// named writeback policy (and an optional background dirty ratio).
+func newRigWithWriteback(t *testing.T, wb string, bg float64) *rig {
+	t.Helper()
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	disk, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "disk", ReadBW: 10, WriteBW: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "mem", ReadBW: 100, WriteBW: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := platform.NewLink(sys, platform.LinkSpec{Name: "net", BW: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(1000)
+	cfg.Writeback = wb
+	cfg.DirtyBackgroundRatio = bg
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := New(sys, link, disk, mem, mgr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ServerWriteback = true
+	return &rig{k: k, sys: sys, r: r, mgr: mgr, link: link}
+}
+
+// serverFileDirty sums a file's dirty bytes over the server manager's lists.
+func serverFileDirty(m *core.Manager, file string) int64 {
+	return m.Inactive().FileDirtyBytes(file) + m.Active().FileDirtyBytes(file)
+}
+
+// TestServerWritebackFlushOrderPolicy drives the same over-threshold write
+// sequence against writeback servers running list-order and file-rr and
+// checks the server-side foreground flush picked different victims: the
+// writeback policy must govern the NFS path too, not just local caches.
+//
+// Sequence (server RAM 1000 → dirty threshold 200): two 50 B dirty blocks
+// of f1, then two of f2, then a 60 B write of f1 that must flush 60 B
+// synchronously. list-order flushes f1's blocks (oldest list position)
+// only; file-rr alternates f1, f2.
+func TestServerWritebackFlushOrderPolicy(t *testing.T) {
+	run := func(wb string) (f1, f2 int64) {
+		rg := newRigWithWriteback(t, wb, 0)
+		rg.k.Spawn("p", func(p *des.Proc) {
+			rg.r.Write(p, "f1", 50)
+			rg.r.Write(p, "f1", 50)
+			rg.r.Write(p, "f2", 50)
+			rg.r.Write(p, "f2", 50)
+			rg.r.Write(p, "f1", 60)
+		})
+		if err := rg.k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rg.mgr.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", wb, err)
+		}
+		if got := rg.mgr.Dirty(); got != 200 {
+			t.Fatalf("%s: server dirty %d, want 200 (at threshold)", wb, got)
+		}
+		return serverFileDirty(rg.mgr, "f1"), serverFileDirty(rg.mgr, "f2")
+	}
+	if f1, f2 := run("list-order"); f1 != 100 || f2 != 100 {
+		t.Fatalf("list-order: dirty f1=%d f2=%d, want 100/100 (f1 flushed first)", f1, f2)
+	}
+	if f1, f2 := run("file-rr"); f1 != 110 || f2 != 90 {
+		t.Fatalf("file-rr: dirty f1=%d f2=%d, want 110/90 (alternating flush)", f1, f2)
+	}
+}
+
+// TestServerBackgroundWriteback verifies BackgroundTick also enforces the
+// background dirty threshold on a writeback server: dirty data above
+// dirty_background_ratio is written back without waiting for expiry.
+func TestServerBackgroundWriteback(t *testing.T) {
+	rg := newRigWithWriteback(t, "", 0.10) // background threshold 100
+	rg.k.Spawn("p", func(p *des.Proc) {
+		rg.r.Write(p, "f", 150)
+		rg.r.BackgroundTick(p) // nothing expired, but 50 B over background
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rg.mgr.Dirty(); got != 100 {
+		t.Fatalf("server dirty = %d after background tick, want 100", got)
+	}
+	if got := rg.mgr.FlushedBytes(); got != 50 {
+		t.Fatalf("server flushed %d, want 50", got)
+	}
+}

@@ -27,8 +27,14 @@ import (
 //
 // "cachePolicy" selects the host's page-cache replacement policy by
 // core registry name ("lru", "clock", "fifo", "lfu"; empty or omitted means
-// the paper's two-list LRU). Unknown names are rejected when the config is
-// loaded, with the registered names listed.
+// the paper's two-list LRU), and "writebackPolicy" the dirty-flush order
+// ("list-order", "oldest-first", "file-rr", "proportional"; empty or
+// omitted means the paper's list order). Unknown names are rejected when
+// the config is loaded, with the registered names listed.
+// "dirtyBackgroundRatio" sets vm.dirty_background_ratio (0 or omitted:
+// background writeback disabled, the paper's single-threshold model) and
+// "lfuHalfLife" the segmented-LFU frequency-decay half-life in seconds
+// (0 or omitted: the built-in 60 s default).
 type Config struct {
 	Hosts []HostConfig `json:"hosts"`
 	Links []LinkConfig `json:"links"`
@@ -36,14 +42,21 @@ type Config struct {
 
 // HostConfig describes one host.
 type HostConfig struct {
-	Name         string       `json:"name"`
-	Cores        int          `json:"cores"`
-	GFlops       float64      `json:"gflops"` // per core
-	RAM          string       `json:"ram"`    // e.g. "250GiB"
-	MemReadMBps  float64      `json:"memReadMBps"`
-	MemWriteMBps float64      `json:"memWriteMBps"`
-	CachePolicy  string       `json:"cachePolicy"` // page-cache policy ("" = default LRU)
-	Disks        []DiskConfig `json:"disks"`
+	Name         string  `json:"name"`
+	Cores        int     `json:"cores"`
+	GFlops       float64 `json:"gflops"` // per core
+	RAM          string  `json:"ram"`    // e.g. "250GiB"
+	MemReadMBps  float64 `json:"memReadMBps"`
+	MemWriteMBps float64 `json:"memWriteMBps"`
+	CachePolicy  string  `json:"cachePolicy"` // page-cache policy ("" = default LRU)
+	// WritebackPolicy selects the dirty-flush order ("" = paper list order).
+	WritebackPolicy string `json:"writebackPolicy"`
+	// DirtyBackgroundRatio is vm.dirty_background_ratio (0 = disabled).
+	DirtyBackgroundRatio float64 `json:"dirtyBackgroundRatio"`
+	// LFUHalfLife overrides the segmented-LFU decay half-life in seconds
+	// (0 = the core default; ignored by the other policies).
+	LFUHalfLife float64      `json:"lfuHalfLife"`
+	Disks       []DiskConfig `json:"disks"`
 }
 
 // DiskConfig describes one disk and its (single) partition.
@@ -107,6 +120,15 @@ func (c *Config) Validate() error {
 		}
 		if err := core.ValidatePolicyName(h.CachePolicy); err != nil {
 			return fmt.Errorf("platform: host %q: %w", h.Name, err)
+		}
+		if err := core.ValidateWritebackPolicyName(h.WritebackPolicy); err != nil {
+			return fmt.Errorf("platform: host %q: %w", h.Name, err)
+		}
+		if h.DirtyBackgroundRatio < 0 || h.DirtyBackgroundRatio >= 1 {
+			return fmt.Errorf("platform: host %q: dirtyBackgroundRatio must be in [0,1)", h.Name)
+		}
+		if h.LFUHalfLife < 0 {
+			return fmt.Errorf("platform: host %q: lfuHalfLife must be non-negative", h.Name)
 		}
 		for _, d := range h.Disks {
 			if d.Name == "" || d.Partition == "" {

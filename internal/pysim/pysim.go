@@ -106,10 +106,15 @@ func (c bgCaller) DiskWrite(string, int64) {}
 func (c bgCaller) MemRead(int64)           {}
 func (c bgCaller) MemWrite(int64)          {}
 
-// catchUp runs the periodic flusher for every tick that has passed.
+// catchUp runs the periodic flusher for every tick that has passed: the
+// expiry pass plus, when Config.Cache.DirtyBackgroundRatio is set, the
+// background pass — the same wake-up body the engine's RunPeriodicFlusher
+// executes, so the prototype and the engine agree on every configuration.
 func (s *Sim) catchUp() {
 	for s.nextTick <= s.clock {
-		s.mgr.FlushExpired(bgCaller{s: s, tick: s.nextTick})
+		c := bgCaller{s: s, tick: s.nextTick}
+		s.mgr.FlushExpired(c)
+		s.mgr.FlushBackground(c)
 		s.nextTick += s.cfg.Cache.FlushInterval
 	}
 }

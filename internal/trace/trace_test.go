@@ -103,3 +103,32 @@ func TestSnapshotLog(t *testing.T) {
 		t.Fatalf("String() = %q", out)
 	}
 }
+
+func TestHitSeries(t *testing.T) {
+	s := &HitSeries{}
+	s.Add(HitPoint{T: 1, HitBytes: 0, MissBytes: 100})
+	s.Add(HitPoint{T: 2, HitBytes: 100, MissBytes: 100})
+	if got := s.At(0.5); got.HitBytes != 0 || got.MissBytes != 0 {
+		t.Fatalf("At(0.5) = %+v", got)
+	}
+	if got := s.At(1.5); got.MissBytes != 100 || got.HitBytes != 0 {
+		t.Fatalf("At(1.5) = %+v", got)
+	}
+	if r := s.At(1.5).Ratio(); r != 0 {
+		t.Fatalf("cold ratio = %v", r)
+	}
+	if r := s.At(3).Ratio(); r != 0.5 {
+		t.Fatalf("warm ratio = %v", r)
+	}
+	if (HitPoint{}).Ratio() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+	var buf strings.Builder
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,hit_bytes,miss_bytes,hit_ratio\n1.000,0,100,0.0000\n2.000,100,100,0.5000\n"
+	if buf.String() != want {
+		t.Fatalf("csv:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
