@@ -44,6 +44,7 @@ func Main(args []string, stdout io.Writer) int {
 		exp3      = fs.Bool("exp3", false, "Exp 3: concurrent applications, NFS (Fig 7)")
 		exp4      = fs.Bool("exp4", false, "Exp 4: Nighres workflow (Fig 6)")
 		fig8      = fs.Bool("fig8", false, "Fig 8: simulation-time scaling")
+		timings   = fs.Bool("timings", false, "include wall-clock timings in Fig 8 output (nondeterministic across runs)")
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
 		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
 		wbacks    = fs.Bool("writebacks", false, "writeback-policy ablation across registered writeback policies (not part of -all)")
@@ -146,6 +147,7 @@ func Main(args []string, stdout io.Writer) int {
 			fmt.Fprintf(os.Stderr, "experiments: fig8: %v\n", err)
 			return 1
 		}
+		res.Timings = *timings
 		res.Render(stdout)
 		fmt.Fprintln(stdout)
 		if err := exp.SaveCSV(*outDir, "fig8_simtime.csv", res.WriteCSV); err != nil {

@@ -11,6 +11,8 @@
 //	pcsim -size 20GB -mode writeback -ram 32GiB -policy clock
 //	pcsim -size 20GB -mode writeback -ram 32GiB -writeback file-rr -dirty-background 0.1
 //	pcsim -platform cluster.json -workflow nighres.json
+//	pcsim -scenario testdata/scenarios/nfs-server-restart.json
+//	pcsim -scenario testdata/scenarios/random-chaos.json -chaos-seed 7
 package main
 
 import (
@@ -51,9 +53,20 @@ func Main(args []string, stdout io.Writer) int {
 		csvPath    = fs.String("csv", "", "write the memory profile CSV here")
 		platPath   = fs.String("platform", "", "platform description JSON (overrides -ram/-mem-bw/-disk-bw)")
 		wfPath     = fs.String("workflow", "", "workflow description JSON (runs instead of the synthetic pipeline; requires -platform)")
+		scenPath   = fs.String("scenario", "", "scenario description JSON (platform + workloads + chaos + assertions; ignores the other flags)")
+		chaosSeed  = fs.Int64("chaos-seed", 0, "override the scenario's chaos seed (with -scenario)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	seedSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "chaos-seed" {
+			seedSet = true
+		}
+	})
+	if *scenPath != "" {
+		return runScenario(*scenPath, *chaosSeed, seedSet, stdout)
 	}
 	if err := core.ValidatePolicyName(*policyStr); err != nil {
 		// Fail fast at configuration time, listing the registered policies.

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+)
+
+// runScenario executes a declarative scenario file (see internal/scenario
+// for the schema): platform, workload mix, chaos faults, assertions. Exit
+// codes: 0 all assertions pass, 1 an assertion failed, 2 the scenario (or
+// its chaos stanza) is invalid.
+func runScenario(path string, seed int64, seedSet bool, stdout io.Writer) int {
+	doc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	res, err := scenario.Run(doc, scenario.RunOpts{ChaosSeed: seed, OverrideSeed: seedSet})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 2
+	}
+	res.Report(stdout)
+	if !res.Passed {
+		fmt.Fprintln(os.Stderr, "pcsim: scenario assertions failed")
+		return 1
+	}
+	return 0
+}

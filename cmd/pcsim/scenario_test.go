@@ -1,0 +1,114 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// scenarioFiles globs every shipped scenario, sorted for stable subtests.
+func scenarioFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("../../testdata/scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 6 {
+		t.Fatalf("only %d shipped scenarios, want at least 6", len(files))
+	}
+	sort.Strings(files)
+	return files
+}
+
+// TestScenariosPassAndAreDeterministic is the scenario smoke suite CI runs
+// under -race: every shipped scenario must pass its assertions, twice, with
+// byte-identical output — the seeded-chaos determinism contract.
+func TestScenariosPassAndAreDeterministic(t *testing.T) {
+	for _, file := range scenarioFiles(t) {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			var run1, run2 strings.Builder
+			if code := Main([]string{"-scenario", file}, &run1); code != 0 {
+				t.Fatalf("first run: exit %d\n%s", code, run1.String())
+			}
+			if code := Main([]string{"-scenario", file}, &run2); code != 0 {
+				t.Fatalf("second run: exit %d\n%s", code, run2.String())
+			}
+			if run1.String() != run2.String() {
+				t.Errorf("output diverged between identical runs:\n%s\n---\n%s",
+					run1.String(), run2.String())
+			}
+			if !strings.Contains(run1.String(), "PASS") {
+				t.Errorf("no assertions in output:\n%s", run1.String())
+			}
+		})
+	}
+}
+
+// TestScenarioSeedOverride checks -chaos-seed reshuffles the random stanza
+// deterministically: same override twice agrees, and differs from the
+// document seed.
+func TestScenarioSeedOverride(t *testing.T) {
+	const file = "../../testdata/scenarios/random-chaos.json"
+	var doc, over1, over2 strings.Builder
+	if code := Main([]string{"-scenario", file}, &doc); code != 0 {
+		t.Fatalf("exit %d\n%s", code, doc.String())
+	}
+	if code := Main([]string{"-scenario", file, "-chaos-seed", "7"}, &over1); code != 0 {
+		t.Fatalf("exit %d\n%s", code, over1.String())
+	}
+	if code := Main([]string{"-scenario", file, "-chaos-seed", "7"}, &over2); code != 0 {
+		t.Fatalf("exit %d\n%s", code, over2.String())
+	}
+	if over1.String() != over2.String() {
+		t.Error("same seed override produced different output")
+	}
+	if over1.String() == doc.String() {
+		t.Error("seed override did not change the chaos schedule")
+	}
+}
+
+// TestScenarioExitCodes: 2 for invalid documents, 1 for assertion
+// failures.
+func TestScenarioExitCodes(t *testing.T) {
+	var b strings.Builder
+	if code := Main([]string{"-scenario", "/nonexistent.json"}, &b); code != 2 {
+		t.Fatalf("missing file: exit %d, want 2", code)
+	}
+
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"name": "bad"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := Main([]string{"-scenario", bad}, &b); code != 2 {
+		t.Fatalf("invalid doc: exit %d, want 2", code)
+	}
+
+	failing := filepath.Join(dir, "failing.json")
+	const js = `{
+	  "name": "failing",
+	  "platform": {
+	    "hosts": [{"name": "n0", "cores": 2, "gflops": 1, "ram": "1GiB",
+	               "memReadMBps": 1000, "memWriteMBps": 1000,
+	               "disks": [{"name": "d0", "readMBps": 100, "writeMBps": 100,
+	                          "capacity": "10GiB", "partition": "scratch"}]}]
+	  },
+	  "chunk": "10MB",
+	  "workloads": [{"name": "w", "host": "n0", "kind": "synthetic",
+	                 "partition": "scratch", "size": "50MB", "cpuS": 0.05}],
+	  "assertions": [{"kind": "makespan-below", "seconds": 0.001}]
+	}`
+	if err := os.WriteFile(failing, []byte(js), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := Main([]string{"-scenario", failing}, &out); code != 1 {
+		t.Fatalf("failing assertion: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL makespan-below") {
+		t.Fatalf("report missing FAIL line:\n%s", out.String())
+	}
+}

@@ -131,6 +131,35 @@ func (c *Controller) Remove(name string) error {
 // Group returns a group by name (nil if absent).
 func (c *Controller) Group(name string) *Group { return c.groups[name] }
 
+// SetLimit changes a group's memory limit mid-run (writing
+// memory.limit_in_bytes) — the chaos engine's cgroup shrink/grow fault.
+// Growing must fit the host reservation; shrinking reclaims the group's
+// overage immediately through cl (clean eviction first, then writeback,
+// like the kernel's reclaim on limit reduction — see core.Manager.Resize).
+// Anonymous memory is never reclaimed: a shrink below current anon usage
+// leaves the group overcommitted and returns the residual bytes, exactly
+// what the kernel reports when a limit write cannot be met by reclaim.
+func (c *Controller) SetLimit(cl core.Caller, name string, limit int64) (int64, error) {
+	g, ok := c.groups[name]
+	if !ok {
+		return 0, fmt.Errorf("cgroup: no group %q", name)
+	}
+	if limit <= 0 {
+		return 0, fmt.Errorf("cgroup: group %q: limit must be positive", name)
+	}
+	if c.reserved-g.limit+limit > c.total {
+		return 0, fmt.Errorf("cgroup: group %q: limit %d over-commits RAM (%d of %d reserved)",
+			name, limit, c.reserved-g.limit, c.total)
+	}
+	residual, err := g.mgr.Resize(cl, limit)
+	if err != nil {
+		return 0, fmt.Errorf("cgroup: group %q: %w", name, err)
+	}
+	c.reserved += limit - g.limit
+	g.limit = limit
+	return residual, nil
+}
+
 // Name returns the group name.
 func (g *Group) Name() string { return g.name }
 

@@ -88,6 +88,76 @@ func TestRemoveRefusesLiveAnon(t *testing.T) {
 	}
 }
 
+// nopCaller is a zero-time core.Caller for driving reclaim in unit tests.
+type nopCaller struct{ diskWrites int64 }
+
+func (n *nopCaller) Now() float64                { return 0 }
+func (n *nopCaller) DiskRead(string, int64)      {}
+func (n *nopCaller) DiskWrite(_ string, b int64) { n.diskWrites += b }
+func (n *nopCaller) MemRead(int64)               {}
+func (n *nopCaller) MemWrite(int64)              {}
+
+func TestSetLimit(t *testing.T) {
+	c := testController(t, 1000)
+	g, err := c.NewGroup("a", 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewGroup("b", 300); err != nil {
+		t.Fatal(err)
+	}
+	cl := &nopCaller{}
+
+	if _, err := c.SetLimit(cl, "zzz", 100); err == nil {
+		t.Fatal("unknown group accepted")
+	}
+	if _, err := c.SetLimit(cl, "a", 0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+	if _, err := c.SetLimit(cl, "a", 701); err == nil {
+		t.Fatal("over-committing grow accepted")
+	}
+	if c.Reserved() != 900 || g.Limit() != 600 {
+		t.Fatalf("failed SetLimit mutated state: reserved %d limit %d", c.Reserved(), g.Limit())
+	}
+
+	// Shrink reclaims the group's cache overage: fill 500 (dirty), then
+	// shrink to 200 — 300+ bytes must be written back and evicted.
+	g.Manager().WriteToCache(cl, "f", 500)
+	res, err := c.SetLimit(cl, "a", 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 0 || g.Limit() != 200 || c.Reserved() != 500 {
+		t.Fatalf("shrink: residual %d limit %d reserved %d", res, g.Limit(), c.Reserved())
+	}
+	if cl.diskWrites < 300 || g.Usage() > 200 {
+		t.Fatalf("shrink reclaim: wrote back %d, usage %d", cl.diskWrites, g.Usage())
+	}
+	if err := g.Manager().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The freed reservation is available to a new group, and growing back
+	// within the host budget works.
+	if _, err := c.NewGroup("c", 500); err != nil {
+		t.Fatal("freed reservation not reusable:", err)
+	}
+	if _, err := c.SetLimit(cl, "b", 300); err != nil { // no-op grow/shrink
+		t.Fatal(err)
+	}
+
+	// Shrinking below live anonymous memory reports the overcommit.
+	g.Manager().UseAnon(150)
+	res, err = c.SetLimit(cl, "a", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != 50 {
+		t.Fatalf("anon overcommit residual = %d, want 50", res)
+	}
+}
+
 // TestGroupIsolationStarvation reproduces the example scenario end to end:
 // a group too small for its working set keeps rereading from disk while a
 // roomy group gets memory-speed hits.

@@ -1,0 +1,360 @@
+// Package chaos is a seeded, deterministic fault injector for the
+// simulator: it schedules mid-run faults — disk slowdowns and failures,
+// link degradation, NFS server restarts, cache drops, cgroup limit
+// changes, memory ballooning — through the DES kernel, so fault arrival
+// interleaves with application I/O exactly like any other simulated event.
+// Everything is deterministic: the same event list (or the same generator
+// seed) produces byte-identical runs, which is what makes fault scenarios
+// regression-testable.
+//
+// The injector holds name→target registries populated by whoever builds
+// the platform (the scenario runner, or tests); events refer to targets by
+// name. Each event runs on its own simulated process, so events that span
+// time (a failure with a recovery duration, a balloon that deflates) sleep
+// in simulated time without blocking anything else.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/nfs"
+	"repro/internal/platform"
+)
+
+// Event kinds. See Validate for the per-kind parameter contracts.
+const (
+	// KindDiskSlow rescales a disk to Factor × nominal bandwidth. DurS > 0
+	// restores full speed after that long; DurS == 0 leaves it degraded.
+	KindDiskSlow = "disk-slow"
+	// KindDiskFail stops a disk entirely (in-flight transfers freeze in
+	// place) and restores it after DurS.
+	KindDiskFail = "disk-fail"
+	// KindLinkDegrade rescales a link to Factor × nominal bandwidth in
+	// both directions. Factor 0 is a partition and requires DurS > 0;
+	// otherwise DurS > 0 optionally restores full speed.
+	KindLinkDegrade = "link-degrade"
+	// KindServerRestart takes the NFS server backing a partition down for
+	// DurS seconds: in-flight exchanges lose their replies, the server
+	// cache restarts cold, un-written dirty server data is lost.
+	KindServerRestart = "server-restart"
+	// KindDropCaches evicts every clean page on a host's cache
+	// (`echo 3 > /proc/sys/vm/drop_caches`). Instantaneous.
+	KindDropCaches = "drop-caches"
+	// KindBalloon inflates Bytes of anonymous memory on a host (forcing
+	// eviction of clean cache), holds it for DurS, then deflates. The
+	// balloon only inflates to what fits: it never overcommits.
+	KindBalloon = "balloon"
+	// KindCgroupLimit rewrites a cgroup's memory limit to Bytes (shrink
+	// reclaims immediately). DurS > 0 restores the previous limit after.
+	KindCgroupLimit = "cgroup-limit"
+)
+
+// KnownKind reports whether kind is one of the Kind* constants — the
+// static half of validation, usable before any target is registered.
+func KnownKind(kind string) bool {
+	switch kind {
+	case KindDiskSlow, KindDiskFail, KindLinkDegrade, KindServerRestart,
+		KindDropCaches, KindBalloon, KindCgroupLimit:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At     float64 // injection time (simulated seconds)
+	Kind   string  // one of the Kind* constants
+	Target string  // registered target name (disk, link, partition, host, group)
+	Factor float64 // bandwidth scale for disk-slow / link-degrade
+	DurS   float64 // fault duration; 0 = permanent where legal
+	Bytes  int64   // balloon size / new cgroup limit
+}
+
+// CgroupTarget adapts a cgroup for limit faults. SetLimit may consume
+// simulated time on p (shrink reclaim writes dirty data back).
+type CgroupTarget interface {
+	Limit() int64
+	SetLimit(p *des.Proc, limit int64) (int64, error)
+}
+
+// Injector schedules events against registered targets.
+type Injector struct {
+	k       *des.Kernel
+	disks   map[string]*platform.Device
+	links   map[string]*platform.Link
+	servers map[string][]*nfs.Remote
+	caches  map[string]*core.Manager
+	cgroups map[string]CgroupTarget
+
+	events  []Event
+	armed   bool
+	applied []string
+	errs    []error
+}
+
+// NewInjector returns an empty injector bound to k.
+func NewInjector(k *des.Kernel) *Injector {
+	return &Injector{
+		k:       k,
+		disks:   make(map[string]*platform.Device),
+		links:   make(map[string]*platform.Link),
+		servers: make(map[string][]*nfs.Remote),
+		caches:  make(map[string]*core.Manager),
+		cgroups: make(map[string]CgroupTarget),
+	}
+}
+
+// RegisterDisk makes a disk targetable by name.
+func (in *Injector) RegisterDisk(name string, d *platform.Device) { in.disks[name] = d }
+
+// RegisterLink makes a link targetable by name.
+func (in *Injector) RegisterLink(name string, l *platform.Link) { in.links[name] = l }
+
+// RegisterServer associates the client Remotes of a served partition with
+// its name; a server-restart hits every client's view at once.
+func (in *Injector) RegisterServer(part string, remotes ...*nfs.Remote) {
+	in.servers[part] = append(in.servers[part], remotes...)
+}
+
+// RegisterCache makes a host's (or group's) page-cache manager targetable
+// for drop-caches and balloon faults.
+func (in *Injector) RegisterCache(name string, mgr *core.Manager) { in.caches[name] = mgr }
+
+// RegisterCgroup makes a cgroup targetable for limit faults.
+func (in *Injector) RegisterCgroup(name string, t CgroupTarget) { in.cgroups[name] = t }
+
+// Validate checks one event against the registries and the per-kind
+// parameter contracts, without scheduling anything.
+func (in *Injector) Validate(e Event) error {
+	if e.At < 0 {
+		return fmt.Errorf("chaos: %s %q: negative time %g", e.Kind, e.Target, e.At)
+	}
+	if e.DurS < 0 {
+		return fmt.Errorf("chaos: %s %q: negative duration %g", e.Kind, e.Target, e.DurS)
+	}
+	switch e.Kind {
+	case KindDiskSlow:
+		if in.disks[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown disk %q", e.Kind, e.Target)
+		}
+		if e.Factor <= 0 {
+			return fmt.Errorf("chaos: %s %q: factor must be positive (use %s for outages)",
+				e.Kind, e.Target, KindDiskFail)
+		}
+	case KindDiskFail:
+		if in.disks[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown disk %q", e.Kind, e.Target)
+		}
+		if e.DurS <= 0 {
+			return fmt.Errorf("chaos: %s %q: needs durS > 0 (a dead disk must recover or the run never ends)",
+				e.Kind, e.Target)
+		}
+	case KindLinkDegrade:
+		if in.links[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown link %q", e.Kind, e.Target)
+		}
+		if e.Factor < 0 {
+			return fmt.Errorf("chaos: %s %q: negative factor %g", e.Kind, e.Target, e.Factor)
+		}
+		if e.Factor == 0 && e.DurS <= 0 {
+			return fmt.Errorf("chaos: %s %q: a full partition (factor 0) needs durS > 0", e.Kind, e.Target)
+		}
+	case KindServerRestart:
+		if len(in.servers[e.Target]) == 0 {
+			return fmt.Errorf("chaos: %s: no NFS clients registered for partition %q", e.Kind, e.Target)
+		}
+		if e.DurS <= 0 {
+			return fmt.Errorf("chaos: %s %q: needs durS > 0", e.Kind, e.Target)
+		}
+	case KindDropCaches:
+		if in.caches[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown cache %q (cacheless hosts cannot drop caches)",
+				e.Kind, e.Target)
+		}
+	case KindBalloon:
+		if in.caches[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown cache %q", e.Kind, e.Target)
+		}
+		if e.Bytes <= 0 {
+			return fmt.Errorf("chaos: %s %q: bytes must be positive", e.Kind, e.Target)
+		}
+		if e.DurS <= 0 {
+			return fmt.Errorf("chaos: %s %q: needs durS > 0", e.Kind, e.Target)
+		}
+	case KindCgroupLimit:
+		if in.cgroups[e.Target] == nil {
+			return fmt.Errorf("chaos: %s: unknown cgroup %q", e.Kind, e.Target)
+		}
+		if e.Bytes <= 0 {
+			return fmt.Errorf("chaos: %s %q: bytes must be positive", e.Kind, e.Target)
+		}
+	default:
+		return fmt.Errorf("chaos: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Add queues events for Arm. Events may arrive in any order.
+func (in *Injector) Add(events ...Event) { in.events = append(in.events, events...) }
+
+// Arm validates every queued event and spawns one simulated process per
+// event, in (time, insertion) order — which pins the relative ordering of
+// same-instant faults, keeping runs byte-identical. Call once, before the
+// kernel runs.
+func (in *Injector) Arm() error {
+	if in.armed {
+		return fmt.Errorf("chaos: already armed")
+	}
+	for _, e := range in.events {
+		if err := in.Validate(e); err != nil {
+			return err
+		}
+	}
+	sort.SliceStable(in.events, func(i, j int) bool { return in.events[i].At < in.events[j].At })
+	for i, e := range in.events {
+		e := e
+		in.k.Spawn(fmt.Sprintf("chaos-%d-%s", i, e.Kind), func(p *des.Proc) {
+			if e.At > 0 {
+				p.Sleep(e.At)
+			}
+			in.apply(p, e)
+		})
+	}
+	in.armed = true
+	return nil
+}
+
+// note records one applied-event line in the deterministic chaos log.
+func (in *Injector) note(t float64, format string, args ...any) {
+	in.applied = append(in.applied, fmt.Sprintf("[t=%g] ", t)+fmt.Sprintf(format, args...))
+}
+
+func (in *Injector) apply(p *des.Proc, e Event) {
+	switch e.Kind {
+	case KindDiskSlow:
+		d := in.disks[e.Target]
+		d.SetBandwidthScale(e.Factor)
+		in.note(p.Now(), "disk-slow %s factor=%g", e.Target, e.Factor)
+		if e.DurS > 0 {
+			p.Sleep(e.DurS)
+			d.SetBandwidthScale(1)
+			in.note(p.Now(), "disk-slow %s restored", e.Target)
+		}
+	case KindDiskFail:
+		d := in.disks[e.Target]
+		d.SetBandwidthScale(0)
+		in.note(p.Now(), "disk-fail %s", e.Target)
+		p.Sleep(e.DurS)
+		d.SetBandwidthScale(1)
+		in.note(p.Now(), "disk-fail %s recovered", e.Target)
+	case KindLinkDegrade:
+		l := in.links[e.Target]
+		l.SetBandwidthScale(e.Factor)
+		in.note(p.Now(), "link-degrade %s factor=%g", e.Target, e.Factor)
+		if e.DurS > 0 {
+			p.Sleep(e.DurS)
+			l.SetBandwidthScale(1)
+			in.note(p.Now(), "link-degrade %s restored", e.Target)
+		}
+	case KindServerRestart:
+		for _, r := range in.servers[e.Target] {
+			r.ServerDown()
+		}
+		in.note(p.Now(), "server-restart %s down", e.Target)
+		p.Sleep(e.DurS)
+		for _, r := range in.servers[e.Target] {
+			r.ServerUp()
+		}
+		in.note(p.Now(), "server-restart %s up", e.Target)
+	case KindDropCaches:
+		dropped := in.caches[e.Target].DropCaches()
+		in.note(p.Now(), "drop-caches %s dropped=%d", e.Target, dropped)
+	case KindBalloon:
+		mgr := in.caches[e.Target]
+		held := e.Bytes
+		if deficit := mgr.UseAnon(e.Bytes); deficit > 0 {
+			// Inflate only to what fits — a balloon drives reclaim, it
+			// does not overcommit the machine.
+			mgr.ReleaseAnon(deficit)
+			held -= deficit
+		}
+		in.note(p.Now(), "balloon %s inflated=%d", e.Target, held)
+		p.Sleep(e.DurS)
+		mgr.ReleaseAnon(held)
+		in.note(p.Now(), "balloon %s deflated", e.Target)
+	case KindCgroupLimit:
+		g := in.cgroups[e.Target]
+		prev := g.Limit()
+		residual, err := g.SetLimit(p, e.Bytes)
+		if err != nil {
+			in.fail(p.Now(), e, err)
+			return
+		}
+		in.note(p.Now(), "cgroup-limit %s limit=%d residual=%d", e.Target, e.Bytes, residual)
+		if e.DurS > 0 {
+			p.Sleep(e.DurS)
+			if _, err := g.SetLimit(p, prev); err != nil {
+				in.fail(p.Now(), e, err)
+				return
+			}
+			in.note(p.Now(), "cgroup-limit %s restored=%d", e.Target, prev)
+		}
+	}
+}
+
+// fail records a runtime fault-application error (e.g. a cgroup grow that
+// would overcommit the host because another group grabbed the headroom).
+func (in *Injector) fail(t float64, e Event, err error) {
+	in.note(t, "%s %s FAILED: %v", e.Kind, e.Target, err)
+	in.errs = append(in.errs, fmt.Errorf("chaos: %s %q at t=%g: %w", e.Kind, e.Target, t, err))
+}
+
+// AppliedLog returns the chronological, deterministic log of applied
+// faults (and recoveries), one line per state change.
+func (in *Injector) AppliedLog() []string { return in.applied }
+
+// Err returns the first runtime fault-application error, if any.
+func (in *Injector) Err() error {
+	if len(in.errs) > 0 {
+		return in.errs[0]
+	}
+	return nil
+}
+
+// RandomSpec generates pseudo-random faults: Count events drawn uniformly
+// from Menu (a list of event templates whose At is ignored), injected at
+// uniform times over [StartS, EndS).
+type RandomSpec struct {
+	Count  int
+	StartS float64
+	EndS   float64
+	Menu   []Event
+}
+
+// Generate expands spec with the given seed. The same (seed, spec) pair
+// yields the same events, always — the determinism contract behind
+// `pcsim -chaos-seed`.
+func Generate(seed int64, spec RandomSpec) ([]Event, error) {
+	if spec.Count <= 0 {
+		return nil, fmt.Errorf("chaos: random spec: count must be positive")
+	}
+	if len(spec.Menu) == 0 {
+		return nil, fmt.Errorf("chaos: random spec: empty menu")
+	}
+	if spec.EndS <= spec.StartS || spec.StartS < 0 {
+		return nil, fmt.Errorf("chaos: random spec: bad window [%g, %g)", spec.StartS, spec.EndS)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, 0, spec.Count)
+	for i := 0; i < spec.Count; i++ {
+		e := spec.Menu[rng.Intn(len(spec.Menu))]
+		e.At = spec.StartS + rng.Float64()*(spec.EndS-spec.StartS)
+		events = append(events, e)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}

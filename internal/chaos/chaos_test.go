@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/fluid"
+	"repro/internal/nfs"
+	"repro/internal/platform"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+type rig struct {
+	k    *des.Kernel
+	sys  *fluid.System
+	disk *platform.Device
+	in   *Injector
+}
+
+func newRig(t *testing.T) *rig {
+	t.Helper()
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	disk, err := platform.NewDevice(sys, platform.DeviceSpec{Name: "d", ReadBW: 100, WriteBW: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(k)
+	in.RegisterDisk("d", disk)
+	return &rig{k: k, sys: sys, disk: disk, in: in}
+}
+
+// transferEnd runs a 1000 B read against the rig disk under the queued
+// events and returns its completion time.
+func transferEnd(t *testing.T, rg *rig) float64 {
+	t.Helper()
+	if err := rg.in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	var end float64
+	rg.k.Spawn("app", func(p *des.Proc) {
+		rg.disk.Read(p, 1000)
+		end = p.Now()
+	})
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestDiskSlowAndRestore(t *testing.T) {
+	// [0,5): 500 B at 100 B/s; slow to 50 B/s → remaining 500 in 10 s.
+	rg := newRig(t)
+	rg.in.Add(Event{At: 5, Kind: KindDiskSlow, Target: "d", Factor: 0.5})
+	if end := transferEnd(t, rg); !near(end, 15, 1e-9) {
+		t.Fatalf("end = %v, want 15", end)
+	}
+
+	// With DurS 3 the disk recovers at t=8: 500 + 150 + 350 → end 11.5.
+	rg = newRig(t)
+	rg.in.Add(Event{At: 5, Kind: KindDiskSlow, Target: "d", Factor: 0.5, DurS: 3})
+	if end := transferEnd(t, rg); !near(end, 11.5, 1e-9) {
+		t.Fatalf("end = %v, want 11.5", end)
+	}
+}
+
+func TestDiskFailFreezesTransfers(t *testing.T) {
+	// [0,5): 500 B; dead until t=15; remaining 500 → end 20.
+	rg := newRig(t)
+	rg.in.Add(Event{At: 5, Kind: KindDiskFail, Target: "d", DurS: 10})
+	if end := transferEnd(t, rg); !near(end, 20, 1e-9) {
+		t.Fatalf("end = %v, want 20", end)
+	}
+	wantLog := []string{"[t=5] disk-fail d", "[t=15] disk-fail d recovered"}
+	if !reflect.DeepEqual(rg.in.AppliedLog(), wantLog) {
+		t.Fatalf("applied log = %q", rg.in.AppliedLog())
+	}
+}
+
+func TestServerRestartReplaysInFlight(t *testing.T) {
+	k := des.NewKernel()
+	sys := fluid.NewSystem(k)
+	disk, _ := platform.NewDevice(sys, platform.DeviceSpec{Name: "sd", ReadBW: 10, WriteBW: 10})
+	mem, _ := platform.NewDevice(sys, platform.DeviceSpec{Name: "sm", ReadBW: 100, WriteBW: 100})
+	link, _ := platform.NewLink(sys, platform.LinkSpec{Name: "net", BW: 50})
+	r, err := nfs.New(sys, link, disk, mem, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(k)
+	in.RegisterServer("export", r)
+	in.Add(Event{At: 4, Kind: KindServerRestart, Target: "export", DurS: 2})
+	if err := in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		if err := r.RawRead(p, 100); err != nil { // hard mount: never fails
+			t.Errorf("read: %v", err)
+		}
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The reply is lost at t=10 (server restarted mid-exchange), the
+	// server is already back, and the replay takes another 10 s.
+	if !near(end, 20, 1e-9) {
+		t.Fatalf("end = %v, want 20", end)
+	}
+}
+
+func TestDropCachesAndBalloon(t *testing.T) {
+	k := des.NewKernel()
+	mgr, err := core.NewManager(core.DefaultConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr.AddToCache("f", 800, 0)
+	in := NewInjector(k)
+	in.RegisterCache("host", mgr)
+	in.Add(
+		Event{At: 1, Kind: KindDropCaches, Target: "host"},
+		Event{At: 2, Kind: KindBalloon, Target: "host", Bytes: 2000, DurS: 5},
+	)
+	if err := in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	k.At(3, func() {
+		// Balloon inflated at t=2 and clamps to RAM: it never overcommits.
+		if mgr.Anon() != 1000 {
+			t.Errorf("ballooned anon = %d, want 1000", mgr.Anon())
+		}
+	})
+	k.At(4, func() {
+		if got := mgr.CacheBytes(); got != 0 {
+			t.Errorf("cache = %d after drop+balloon, want 0", got)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Anon() != 0 { // deflated at t=7
+		t.Fatalf("anon = %d after deflate, want 0", mgr.Anon())
+	}
+	want := []string{
+		"[t=1] drop-caches host dropped=800",
+		"[t=2] balloon host inflated=1000",
+		"[t=7] balloon host deflated",
+	}
+	if !reflect.DeepEqual(in.AppliedLog(), want) {
+		t.Fatalf("applied log = %q", in.AppliedLog())
+	}
+}
+
+// fakeCgroup records SetLimit calls without a real controller.
+type fakeCgroup struct {
+	limit int64
+	calls []int64
+}
+
+func (f *fakeCgroup) Limit() int64 { return f.limit }
+func (f *fakeCgroup) SetLimit(p *des.Proc, limit int64) (int64, error) {
+	f.limit = limit
+	f.calls = append(f.calls, limit)
+	return 0, nil
+}
+
+func TestCgroupLimitShrinkAndRevert(t *testing.T) {
+	k := des.NewKernel()
+	g := &fakeCgroup{limit: 500}
+	in := NewInjector(k)
+	in.RegisterCgroup("g", g)
+	in.Add(Event{At: 2, Kind: KindCgroupLimit, Target: "g", Bytes: 100, DurS: 4})
+	if err := in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.calls, []int64{100, 500}) || g.limit != 500 {
+		t.Fatalf("calls = %v, limit = %d", g.calls, g.limit)
+	}
+	if err := in.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadEvents(t *testing.T) {
+	rg := newRig(t)
+	bad := []Event{
+		{Kind: "meteor-strike", Target: "d"},
+		{Kind: KindDiskSlow, Target: "nope", Factor: 0.5},
+		{Kind: KindDiskSlow, Target: "d", Factor: 0},
+		{Kind: KindDiskFail, Target: "d"}, // missing DurS
+		{Kind: KindLinkDegrade, Target: "l", Factor: 0.5},
+		{Kind: KindServerRestart, Target: "export", DurS: 1},
+		{Kind: KindDropCaches, Target: "host"},
+		{Kind: KindBalloon, Target: "host", Bytes: 1, DurS: 1},
+		{Kind: KindCgroupLimit, Target: "g", Bytes: 1},
+		{At: -1, Kind: KindDiskSlow, Target: "d", Factor: 0.5},
+		{Kind: KindDiskSlow, Target: "d", Factor: 0.5, DurS: -1},
+	}
+	for _, e := range bad {
+		if err := rg.in.Validate(e); err == nil {
+			t.Errorf("accepted %+v", e)
+		}
+	}
+}
+
+func TestGenerateIsSeedDeterministic(t *testing.T) {
+	spec := RandomSpec{
+		Count:  8,
+		StartS: 0,
+		EndS:   100,
+		Menu: []Event{
+			{Kind: KindDiskSlow, Target: "d", Factor: 0.5, DurS: 5},
+			{Kind: KindDropCaches, Target: "host"},
+		},
+	}
+	a, err := Generate(42, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Generate(42, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed, different events")
+	}
+	c, _ := Generate(43, spec)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical events")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("events not time-sorted")
+		}
+	}
+	if _, err := Generate(1, RandomSpec{Count: 0, EndS: 1, Menu: spec.Menu}); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := Generate(1, RandomSpec{Count: 1, EndS: 1}); err == nil {
+		t.Fatal("empty menu accepted")
+	}
+	if _, err := Generate(1, RandomSpec{Count: 1, StartS: 5, EndS: 1, Menu: spec.Menu}); err == nil {
+		t.Fatal("bad window accepted")
+	}
+}
+
+func TestArmRejectsDoubleArmAndBadEvent(t *testing.T) {
+	rg := newRig(t)
+	rg.in.Add(Event{Kind: KindDiskSlow, Target: "d", Factor: 0})
+	if err := rg.in.Arm(); err == nil {
+		t.Fatal("invalid event armed")
+	}
+	rg = newRig(t)
+	if err := rg.in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rg.in.Arm(); err == nil {
+		t.Fatal("double arm accepted")
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -642,6 +643,63 @@ func (m *Manager) InvalidateFile(file string) int64 {
 	return dropped
 }
 
+// DropCaches evicts every clean block while keeping dirty ones — the
+// `echo 3 > /proc/sys/vm/drop_caches` semantics the chaos engine injects.
+// Like the kernel's drop_caches it ignores per-file exclusions and the
+// open-for-write heuristic (any clean reclaimable page goes), takes no
+// simulated time, and is not counted as a forced eviction (it is an
+// administrative action, not memory pressure). Returns the dropped byte
+// count.
+func (m *Manager) DropCaches() int64 {
+	dropped := m.forceEvict(math.MaxInt64)
+	m.pol.Rebalance(m)
+	return dropped
+}
+
+// Resize changes TotalMem mid-run — the primitive behind cgroup limit
+// shrink/grow and memory ballooning. Growing is free. Shrinking reclaims
+// the overage the way the kernel does under pressure: clean blocks are
+// evicted first, then dirty blocks are written back through c (consuming
+// simulated disk-write time) and evicted, and finally any still-resident
+// clean blocks are force-dropped regardless of exclusions (counted as one
+// forced eviction). Anonymous memory is never reclaimed: if anon alone
+// exceeds the new limit, the residual overcommit is returned and the limit
+// still applies to future allocations. Returns the unresolvable deficit
+// (0 normally) and an error for non-positive limits.
+func (m *Manager) Resize(c Caller, newTotal int64) (int64, error) {
+	if newTotal <= 0 {
+		return 0, fmt.Errorf("core: Resize: total %d must be positive", newTotal)
+	}
+	m.cfg.TotalMem = newTotal
+	deficit := -m.Free()
+	if deficit <= 0 {
+		return 0, nil
+	}
+	m.Evict(deficit, "")
+	for {
+		deficit = -m.Free()
+		if deficit <= 0 {
+			return 0, nil
+		}
+		// c.DiskWrite blocks, so other simulated processes may mutate the
+		// cache during each pass; recompute the deficit every round.
+		if m.Flush(c, deficit) == 0 {
+			break // nothing dirty left; the rest is protected clean data
+		}
+		m.Evict(-m.Free(), "")
+	}
+	if deficit = -m.Free(); deficit > 0 {
+		m.ForcedEvictions++
+		m.forceEvict(deficit)
+		m.pol.Rebalance(m)
+		deficit = -m.Free()
+	}
+	if deficit < 0 {
+		deficit = 0
+	}
+	return deficit, nil
+}
+
 // Stats is a point-in-time snapshot of the manager's accounting.
 type Stats struct {
 	Total, Anon, Cache, Dirty, Free, Available int64
@@ -836,8 +894,15 @@ func (m *Manager) CheckInvariants() error {
 			return fmt.Errorf("cached[%s]=%d but lists hold %d", f, v, perFile[f])
 		}
 	}
-	if m.Free() < 0 {
-		return fmt.Errorf("negative free memory: %d", m.Free())
+	// Negative free memory is legal only as anonymous overcommit after a
+	// Resize shrink (anon is never reclaimed); the page cache itself must
+	// always fit within what anon leaves of the limit.
+	if m.Free() < 0 && m.CacheBytes() > 0 {
+		return fmt.Errorf("page cache %d bytes oversubscribes memory: free %d",
+			m.CacheBytes(), m.Free())
+	}
+	if m.Free() < 0 && m.anon <= m.cfg.TotalMem {
+		return fmt.Errorf("negative free memory %d without anon overcommit", m.Free())
 	}
 	if m.anon < 0 {
 		return fmt.Errorf("negative anon: %d", m.anon)

@@ -57,7 +57,7 @@ func testIOControllerConservation(t *testing.T, policy, wb string) {
 		for op := 0; op < 60; op++ {
 			c.now += rng.Float64() * 5
 			name := names[rng.Intn(len(names))]
-			switch rng.Intn(4) {
+			switch rng.Intn(6) {
 			case 0: // write
 				n := int64(1 + rng.Intn(8000))
 				if files[name]+n+anon > total/2 {
@@ -115,6 +115,35 @@ func testIOControllerConservation(t *testing.T, policy, wb string) {
 			case 3: // background flush catch-up
 				m.FlushExpired(c)
 				m.FlushBackground(c)
+			case 4: // echo 3 > drop_caches (chaos cache-drop fault)
+				preCache, preDirty := m.CacheBytes(), m.Dirty()
+				dropped := m.DropCaches()
+				if dropped != preCache-preDirty {
+					t.Logf("seed %d: DropCaches dropped %d, clean was %d", seed, dropped, preCache-preDirty)
+					return false
+				}
+				if m.CacheBytes() != m.Dirty() || m.Dirty() != preDirty {
+					t.Logf("seed %d: after DropCaches cache %d dirty %d (pre-dirty %d)",
+						seed, m.CacheBytes(), m.Dirty(), preDirty)
+					return false
+				}
+			case 5: // cgroup-style limit shrink/grow (chaos resize fault)
+				newTotal := int64(40000 + rng.Intn(130000))
+				residual, err := m.Resize(c, newTotal)
+				if err != nil {
+					t.Logf("seed %d: Resize: %v", seed, err)
+					return false
+				}
+				want := anon - newTotal
+				if want < 0 {
+					want = 0
+				}
+				if residual != want {
+					t.Logf("seed %d: Resize(%d) residual %d, want %d (anon %d)",
+						seed, newTotal, residual, want, anon)
+					return false
+				}
+				total = newTotal
 			}
 			if err := m.CheckInvariants(); err != nil {
 				t.Logf("seed %d op %d: %v", seed, op, err)

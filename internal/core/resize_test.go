@@ -1,0 +1,147 @@
+package core
+
+import "testing"
+
+func TestDropCachesKeepsDirty(t *testing.T) {
+	for _, policy := range PolicyNames() {
+		t.Run(policy, func(t *testing.T) {
+			cfg := DefaultConfig(10000)
+			cfg.Policy = policy
+			m, err := NewManager(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := newFakeCaller()
+			m.AddToCache("clean1", 1000, 0)
+			m.AddToCache("clean2", 2000, 1)
+			if d := m.WriteToCache(c, "dirty", 1500); d != 0 {
+				t.Fatalf("WriteToCache deficit %d", d)
+			}
+			m.OpenWrite("clean1") // write protection must NOT shield clean1
+			preForced := m.ForcedEvictions
+
+			if got := m.DropCaches(); got != 3000 {
+				t.Fatalf("DropCaches = %d, want 3000", got)
+			}
+			if m.CacheBytes() != 1500 || m.Dirty() != 1500 {
+				t.Fatalf("after drop: cache %d dirty %d, want 1500/1500", m.CacheBytes(), m.Dirty())
+			}
+			if m.Cached("clean1") != 0 || m.Cached("clean2") != 0 || m.Cached("dirty") != 1500 {
+				t.Fatalf("per-file accounting wrong: %d %d %d",
+					m.Cached("clean1"), m.Cached("clean2"), m.Cached("dirty"))
+			}
+			if m.ForcedEvictions != preForced {
+				t.Fatalf("DropCaches counted as forced eviction")
+			}
+			if got := m.DropCaches(); got != 0 {
+				t.Fatalf("second DropCaches = %d, want 0", got)
+			}
+			mustNoInvariantErr(t, m)
+
+			// Flushing afterwards makes the survivors clean and droppable.
+			m.CloseWrite("clean1")
+			m.Flush(c, 1500)
+			if got := m.DropCaches(); got != 1500 {
+				t.Fatalf("post-flush DropCaches = %d, want 1500", got)
+			}
+			if m.CacheBytes() != 0 {
+				t.Fatalf("cache not empty: %d", m.CacheBytes())
+			}
+			mustNoInvariantErr(t, m)
+		})
+	}
+}
+
+func TestResizeGrow(t *testing.T) {
+	m := newTestManager(t, 1000)
+	c := newFakeCaller()
+	m.AddToCache("f", 800, 0)
+	if res, err := m.Resize(c, 5000); err != nil || res != 0 {
+		t.Fatalf("Resize = %d, %v", res, err)
+	}
+	if m.Config().TotalMem != 5000 || m.Free() != 4200 || m.CacheBytes() != 800 {
+		t.Fatalf("after grow: total %d free %d cache %d",
+			m.Config().TotalMem, m.Free(), m.CacheBytes())
+	}
+	mustNoInvariantErr(t, m)
+}
+
+func TestResizeShrinkEvictsCleanFirst(t *testing.T) {
+	m := newTestManager(t, 10000)
+	c := newFakeCaller()
+	m.AddToCache("clean", 6000, 0)
+	if d := m.WriteToCache(c, "dirty", 2000); d != 0 {
+		t.Fatalf("WriteToCache deficit %d", d)
+	}
+	preWrites := c.diskWrites
+	if res, err := m.Resize(c, 4000); err != nil || res != 0 {
+		t.Fatalf("Resize = %d, %v", res, err)
+	}
+	// 4000 bytes fit: the 2000 dirty survive untouched, clean shrinks.
+	if c.diskWrites != preWrites {
+		t.Fatalf("shrink to 4000 wrote %d bytes back, want 0", c.diskWrites-preWrites)
+	}
+	if m.Free() < 0 || m.Dirty() != 2000 || m.CacheBytes() > 4000 {
+		t.Fatalf("after shrink: free %d dirty %d cache %d", m.Free(), m.Dirty(), m.CacheBytes())
+	}
+	mustNoInvariantErr(t, m)
+}
+
+func TestResizeShrinkWritesBackDirty(t *testing.T) {
+	m := newTestManager(t, 10000)
+	c := newFakeCaller()
+	if d := m.WriteToCache(c, "dirty", 6000); d != 0 {
+		t.Fatalf("WriteToCache deficit %d", d)
+	}
+	if res, err := m.Resize(c, 1000); err != nil || res != 0 {
+		t.Fatalf("Resize = %d, %v", res, err)
+	}
+	// No clean data existed, so the overage had to be flushed (simulated
+	// disk time through c) and then evicted.
+	if c.diskWrites < 5000 {
+		t.Fatalf("wrote back %d bytes, want >= 5000", c.diskWrites)
+	}
+	if m.Free() < 0 || m.CacheBytes() > 1000 {
+		t.Fatalf("after shrink: free %d cache %d", m.Free(), m.CacheBytes())
+	}
+	mustNoInvariantErr(t, m)
+}
+
+func TestResizeAnonOvercommit(t *testing.T) {
+	m := newTestManager(t, 10000)
+	c := newFakeCaller()
+	m.AddToCache("clean", 2000, 0)
+	if d := m.UseAnon(5000); d != 0 {
+		t.Fatalf("UseAnon deficit %d", d)
+	}
+	res, err := m.Resize(c, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Anon (5000) alone exceeds the new limit: all cache is reclaimed and
+	// the 2000-byte overcommit is reported.
+	if res != 2000 || m.CacheBytes() != 0 || m.Anon() != 5000 {
+		t.Fatalf("Resize residual %d cache %d anon %d", res, m.CacheBytes(), m.Anon())
+	}
+	mustNoInvariantErr(t, m)
+
+	// Releasing the anon memory clears the overcommit.
+	m.ReleaseAnon(5000)
+	if m.Free() != 3000 {
+		t.Fatalf("free = %d, want 3000", m.Free())
+	}
+	mustNoInvariantErr(t, m)
+}
+
+func TestResizeRejectsNonPositive(t *testing.T) {
+	m := newTestManager(t, 1000)
+	c := newFakeCaller()
+	for _, bad := range []int64{0, -5} {
+		if _, err := m.Resize(c, bad); err == nil {
+			t.Fatalf("Resize(%d) accepted", bad)
+		}
+	}
+	if m.Config().TotalMem != 1000 {
+		t.Fatalf("failed Resize mutated TotalMem to %d", m.Config().TotalMem)
+	}
+}

@@ -42,8 +42,12 @@ func (a *App) ReadFileN(file string, n int64, label string) error {
 		n = size
 	}
 	start := a.p.Now()
-	if err := a.model.ReadFile(&procCaller{p: a.p, hr: a.hr}, file, n, size); err != nil {
+	pc := &procCaller{p: a.p, hr: a.hr}
+	if err := a.model.ReadFile(pc, file, n, size); err != nil {
 		return err
+	}
+	if pc.err != nil {
+		return fmt.Errorf("engine: read %s: %w", file, pc.err)
 	}
 	a.anonHeld += n
 	a.sim.Log.Add(trace.Op{
@@ -77,10 +81,18 @@ func (a *App) WriteFile(file string, size int64, part *storage.Partition, label 
 			if size-off < cs {
 				cs = size - off
 			}
-			m.remote.Write(a.p, file, cs)
+			if err := m.remote.Write(a.p, file, cs); err != nil {
+				return fmt.Errorf("engine: write %s: %w", file, err)
+			}
 		}
-	} else if err := a.model.WriteFile(&procCaller{p: a.p, hr: a.hr}, file, size); err != nil {
-		return err
+	} else {
+		pc := &procCaller{p: a.p, hr: a.hr}
+		if err := a.model.WriteFile(pc, file, size); err != nil {
+			return err
+		}
+		if pc.err != nil {
+			return fmt.Errorf("engine: write %s: %w", file, pc.err)
+		}
 	}
 	a.sim.Log.Add(trace.Op{
 		Instance: a.instance, Name: label, Kind: "write",

@@ -10,21 +10,45 @@ import (
 // It routes disk traffic to the file's backing partition — through the local
 // device, or through the NFS substrate when the partition is mounted
 // remotely — and memory traffic to the host RAM device.
+//
+// Remote failures stick: once an NFS operation fails (a soft mount giving
+// up on a down server), every further transfer through this caller is a
+// zero-time no-op so the surrounding chunk loop unwinds immediately, and
+// the App surfaces the first error. Fault-free runs never set err and take
+// no extra branches that cost simulated time.
 type procCaller struct {
-	p  *des.Proc
-	hr *HostRuntime
+	p   *des.Proc
+	hr  *HostRuntime
+	err error
 }
 
 func (c *procCaller) Now() float64 { return c.p.Now() }
+
+// Err returns the first remote-I/O failure seen by this caller, if any.
+func (c *procCaller) Err() error { return c.err }
 
 // Proc exposes the simulated process for models that need condition waits
 // (linuxref's balance_dirty_pages throttling).
 func (c *procCaller) Proc() *des.Proc { return c.p }
 
-func (c *procCaller) MemRead(n int64)  { c.hr.Host.Memory().Read(c.p, n) }
-func (c *procCaller) MemWrite(n int64) { c.hr.Host.Memory().Write(c.p, n) }
+func (c *procCaller) MemRead(n int64) {
+	if c.err != nil {
+		return
+	}
+	c.hr.Host.Memory().Read(c.p, n)
+}
+
+func (c *procCaller) MemWrite(n int64) {
+	if c.err != nil {
+		return
+	}
+	c.hr.Host.Memory().Write(c.p, n)
+}
 
 func (c *procCaller) DiskRead(file string, n int64) {
+	if c.err != nil {
+		return
+	}
 	part, err := c.hr.sim.NS.Locate(file)
 	if err != nil {
 		panic(fmt.Sprintf("engine: DiskRead of unplaced file %s", file))
@@ -35,26 +59,29 @@ func (c *procCaller) DiskRead(file string, n int64) {
 			size = f.Size
 		}
 		if c.hr.Mode == ModeCacheless {
-			m.remote.RawRead(c.p, n)
+			c.err = m.remote.RawRead(c.p, n)
 			return
 		}
-		m.remote.Read(c.p, file, size, n)
+		c.err = m.remote.Read(c.p, file, size, n)
 		return
 	}
 	part.Device().Read(c.p, n)
 }
 
 func (c *procCaller) DiskWrite(file string, n int64) {
+	if c.err != nil {
+		return
+	}
 	part, err := c.hr.sim.NS.Locate(file)
 	if err != nil {
 		panic(fmt.Sprintf("engine: DiskWrite of unplaced file %s", file))
 	}
 	if m := c.hr.remotes[part]; m != nil {
 		if c.hr.Mode == ModeCacheless {
-			m.remote.RawWrite(c.p, n)
+			c.err = m.remote.RawWrite(c.p, n)
 			return
 		}
-		m.remote.Write(c.p, file, n)
+		c.err = m.remote.Write(c.p, file, n)
 		return
 	}
 	part.Device().Write(c.p, n)

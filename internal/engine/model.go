@@ -71,6 +71,22 @@ type CacheModel interface {
 	Start(k *des.Kernel, mkCaller func(*des.Proc) core.Caller, running func() bool)
 }
 
+// ManagerProvider is implemented by cache models backed by a core.Manager
+// (coreModel here, cgroup.Group elsewhere). Chaos faults use it to reach
+// the underlying cache for drop_caches and limit-resize semantics; models
+// without a manager (cacheless, linuxref) simply don't implement it and
+// the corresponding faults are rejected at scenario-validation time.
+type ManagerProvider interface {
+	Manager() *core.Manager
+}
+
+// Syncer is implemented by models that can write back all dirty data on
+// demand — the sync(2) the scenario runner issues before evaluating
+// all-dirty-flushed assertions.
+type Syncer interface {
+	SyncAll(c core.Caller)
+}
+
 // coreModel adapts core.IOController to CacheModel for the writeback,
 // writethrough and direct-I/O modes.
 type coreModel struct {
@@ -102,6 +118,21 @@ func (m *coreModel) WriteFile(c core.Caller, file string, size int64) error {
 		return directTransfer(c, file, size, m.io.ChunkSize(), false, nil)
 	default:
 		return m.io.WriteFile(c, file, size)
+	}
+}
+
+// Manager implements ManagerProvider.
+func (m *coreModel) Manager() *core.Manager { return m.io.Manager() }
+
+// SyncAll implements Syncer: it flushes until nothing dirty remains (the
+// selection restarts after every blocking write, so concurrent writers are
+// drained too).
+func (m *coreModel) SyncAll(c core.Caller) {
+	mgr := m.io.Manager()
+	for mgr.Dirty() > 0 {
+		if mgr.Flush(c, mgr.Dirty()) == 0 {
+			return
+		}
 	}
 }
 

@@ -140,6 +140,9 @@ type MountOpts struct {
 	// cache and reach the server via (delayed) flushes (paper: false — "no
 	// client write cache").
 	ClientWriteCache bool
+	// Retry is the mount's failure-handling policy while the server is
+	// down (the zero value is a Linux hard mount: stall until recovery).
+	Retry nfs.RetryConfig
 }
 
 // MountRemote makes server-partition part reachable from hr over link. The
@@ -161,6 +164,7 @@ func (hr *HostRuntime) MountRemote(part *storage.Partition, link *platform.Link,
 		return err
 	}
 	r.ServerWriteback = opts.ServerWriteback
+	r.Retry = opts.Retry
 	hr.remotes[part] = &mount{remote: r, chunk: opts.Chunk, clientWriteCache: opts.ClientWriteCache}
 	if opts.ServerWriteback && opts.SrvMgr != nil {
 		interval := opts.SrvMgr.Config().FlushInterval
@@ -185,6 +189,17 @@ func (hr *HostRuntime) Remote(part *storage.Partition) *nfs.Remote {
 	}
 	return nil
 }
+
+// Caller returns a core.Caller routing I/O for process p on this host —
+// the hook the chaos engine and scenario runner use to drive reclaim
+// (cache drops, cgroup shrinks, end-of-run syncs) with correctly charged
+// simulated transfer time.
+func (hr *HostRuntime) Caller(p *des.Proc) core.Caller {
+	return &procCaller{p: p, hr: hr}
+}
+
+// Disks returns the host's local disk devices in attach order.
+func (hr *HostRuntime) Disks() []*platform.Device { return hr.disks }
 
 // EnableMemTrace samples the host's memory accounting every dt seconds for
 // the duration of the run.

@@ -249,6 +249,38 @@ func TestSimTimeScalesLinearly(t *testing.T) {
 	}
 }
 
+func TestSimTimeTimingsGate(t *testing.T) {
+	res, err := RunSimTime([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var render, csv strings.Builder
+	res.Render(&render)
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	// Default output carries no wall-clock numbers: byte-for-byte diffable.
+	if strings.Contains(csv.String(), "seconds") || !strings.Contains(csv.String(), "configuration,n\n") {
+		t.Fatalf("default CSV leaks timings:\n%s", csv.String())
+	}
+	if !strings.Contains(render.String(), "timings omitted") {
+		t.Fatalf("default render:\n%s", render.String())
+	}
+	res.Timings = true
+	render.Reset()
+	csv.Reset()
+	res.Render(&render)
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "configuration,n,seconds") {
+		t.Fatalf("-timings CSV missing seconds:\n%s", csv.String())
+	}
+	if !strings.Contains(render.String(), "fit") || !strings.Contains(render.String(), "paper slopes") {
+		t.Fatalf("-timings render missing fits:\n%s", render.String())
+	}
+}
+
 func TestAblationOrdering(t *testing.T) {
 	res, err := RunAblations(100 * units.GB)
 	if err != nil {

@@ -22,6 +22,10 @@ type SimTimeSeries struct {
 // SimTimeResult is the full Fig 8: four configurations.
 type SimTimeResult struct {
 	Series []SimTimeSeries
+	// Timings includes the wall-clock seconds and their fits in Render and
+	// WriteCSV. Off by default: wall-clock numbers vary run to run, and
+	// omitting them keeps `experiments` output byte-for-byte diffable.
+	Timings bool
 }
 
 // RunSimTime measures wall-clock simulation time for the Fig 8

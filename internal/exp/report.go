@@ -172,21 +172,46 @@ func (r *Exp4Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "paper: wrench=%v%% wrench-cache=%v%%\n", Paper().Exp4WrenchErr, Paper().Exp4CacheErr)
 }
 
-// Render prints the Fig 8 table with regression fits.
+// Render prints the Fig 8 table. Wall-clock fits only appear with Timings
+// set (`experiments -timings`): they differ run to run, and the default
+// output stays byte-for-byte diffable.
 func (r *SimTimeResult) Render(w io.Writer) {
 	fmt.Fprintln(w, "== Fig 8: wall-clock simulation time vs concurrent applications ==")
-	t := &textplot.Table{Header: []string{"configuration", "fit", "points"}}
+	if r.Timings {
+		t := &textplot.Table{Header: []string{"configuration", "fit", "points"}}
+		for _, s := range r.Series {
+			t.Add(s.Label, s.Fit.String(), fmt.Sprintf("%d", len(s.N)))
+		}
+		t.Render(w)
+		p := Paper()
+		fmt.Fprintf(w, "paper slopes (authors' machine): wrench-local=%.2f cache-local=%.2f cache-nfs=%.2f s/app\n",
+			p.Fig8WrenchLocalSlope, p.Fig8CacheLocalSlope, p.Fig8CacheNFSSlope)
+		return
+	}
+	t := &textplot.Table{Header: []string{"configuration", "points"}}
 	for _, s := range r.Series {
-		t.Add(s.Label, s.Fit.String(), fmt.Sprintf("%d", len(s.N)))
+		t.Add(s.Label, fmt.Sprintf("%d", len(s.N)))
 	}
 	t.Render(w)
-	p := Paper()
-	fmt.Fprintf(w, "paper slopes (authors' machine): wrench-local=%.2f cache-local=%.2f cache-nfs=%.2f s/app\n",
-		p.Fig8WrenchLocalSlope, p.Fig8CacheLocalSlope, p.Fig8CacheNFSSlope)
+	fmt.Fprintln(w, "wall-clock timings omitted; rerun with -timings for fits")
 }
 
-// WriteCSV emits the Fig 8 series.
+// WriteCSV emits the Fig 8 series; the nondeterministic seconds column
+// only with Timings set.
 func (r *SimTimeResult) WriteCSV(w io.Writer) error {
+	if !r.Timings {
+		if _, err := fmt.Fprintln(w, "configuration,n"); err != nil {
+			return err
+		}
+		for _, s := range r.Series {
+			for i := range s.N {
+				if _, err := fmt.Fprintf(w, "%s,%d\n", s.Label, s.N[i]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	if _, err := fmt.Fprintln(w, "configuration,n,seconds"); err != nil {
 		return err
 	}

@@ -220,6 +220,27 @@ func (s *System) Transfer(bytes float64, r *Resource) *Activity {
 	return s.Start(bytes, 0, Use{Res: r, Coef: 1})
 }
 
+// SetCapacity changes r's capacity mid-run — the fault-injection primitive
+// behind disk slowdowns, link degradation and device failures. The event
+// sequence is exactly an activity start/completion: elapsed work is advanced
+// first (in start order, preserving the float-accumulation determinism
+// contract), then the component containing r is re-solved and the completion
+// timer retargeted. Capacity 0 models a failed device: its activities freeze
+// at rate 0 in place and resume when a later SetCapacity restores it.
+// Negative, NaN or infinite capacities panic, mirroring NewResource.
+func (s *System) SetCapacity(r *Resource, capacity float64) {
+	if capacity < 0 || math.IsNaN(capacity) || math.IsInf(capacity, 0) {
+		panic(fmt.Sprintf("fluid: resource %q: invalid capacity %v", r.name, capacity))
+	}
+	if capacity == r.capacity {
+		return
+	}
+	seeds := s.advanceAndComplete()
+	r.capacity = capacity
+	s.solveAffected(append(seeds, r), nil)
+	s.scheduleNext()
+}
+
 // completionEps returns the absolute remaining-work threshold under which an
 // activity is considered finished (guards float rounding).
 func (a *Activity) completionEps() float64 {
@@ -480,6 +501,10 @@ func (s *System) InFlight() int { return len(s.acts) }
 
 // Utilization returns the fraction of r's capacity currently allocated.
 // O(1): reads the allocated counter maintained by the component solver.
+// A failed resource (capacity 0) reports utilization 0.
 func (s *System) Utilization(r *Resource) float64 {
+	if r.capacity <= 0 {
+		return 0
+	}
 	return r.allocated / r.capacity
 }

@@ -125,8 +125,22 @@ func (s *System) CheckInvariants() error {
 		if a.remaining <= 0 || a.remaining > a.work0 {
 			return fmt.Errorf("activity %d: remaining %v outside (0, %v]", a.seq, a.remaining, a.work0)
 		}
-		if a.rate <= 0 {
-			return fmt.Errorf("activity %d: non-positive rate %v", a.seq, a.rate)
+		if a.rate < 0 {
+			return fmt.Errorf("activity %d: negative rate %v", a.seq, a.rate)
+		}
+		if a.rate == 0 {
+			// Rate 0 is legal only while stalled on a failed (capacity-0)
+			// resource — see SetCapacity.
+			stalled := false
+			for _, u := range a.uses {
+				if u.Res.capacity == 0 {
+					stalled = true
+					break
+				}
+			}
+			if !stalled {
+				return fmt.Errorf("activity %d: zero rate without a failed resource", a.seq)
+			}
 		}
 		if a.bound > 0 && a.rate > a.bound*(1+1e-9) {
 			return fmt.Errorf("activity %d: rate %v exceeds bound %v", a.seq, a.rate, a.bound)

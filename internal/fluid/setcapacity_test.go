@@ -1,0 +1,205 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestSetCapacitySlowdown halves a disk mid-transfer: 1000 B at 100 B/s for
+// 5 s (500 done), then 50 B/s for the remaining 500 → end at 15 s.
+func TestSetCapacitySlowdown(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		s.Transfer(1000, disk).Await(p)
+		end = p.Now()
+	})
+	k.At(5, func() { s.SetCapacity(disk, 50) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 15, 1e-9) {
+		t.Fatalf("end = %v, want 15", end)
+	}
+}
+
+// TestSetCapacitySpeedup doubles a disk mid-transfer: 1000 B at 100 B/s for
+// 5 s, then 200 B/s → end at 7.5 s.
+func TestSetCapacitySpeedup(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		s.Transfer(1000, disk).Await(p)
+		end = p.Now()
+	})
+	k.At(5, func() { s.SetCapacity(disk, 200) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 7.5, 1e-9) {
+		t.Fatalf("end = %v, want 7.5", end)
+	}
+}
+
+// TestSetCapacityFailureStallsAndResumes fails the disk at t=5 (capacity 0:
+// the transfer freezes at rate 0) and restores it at t=20 → the remaining
+// 500 B finish at t=25. While stalled the invariants must hold (rate 0 is
+// legal on a failed resource) and utilization must report 0.
+func TestSetCapacityFailureStallsAndResumes(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		s.Transfer(1000, disk).Await(p)
+		end = p.Now()
+	})
+	k.At(5, func() { s.SetCapacity(disk, 0) })
+	k.At(10, func() {
+		if err := s.CheckInvariants(); err != nil {
+			t.Errorf("invariants while stalled: %v", err)
+		}
+		if got := s.InFlight(); got != 1 {
+			t.Errorf("InFlight while stalled = %d, want 1", got)
+		}
+		if got := s.Utilization(disk); got != 0 {
+			t.Errorf("Utilization of failed resource = %v, want 0", got)
+		}
+	})
+	k.At(20, func() { s.SetCapacity(disk, 100) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(end, 25, 1e-9) {
+		t.Fatalf("end = %v, want 25", end)
+	}
+}
+
+// TestSetCapacityLeavesSharersConsistent mutates one of two resources while
+// activities overlap and checks the solver-state invariants (including the
+// bit-for-bit oracle comparison) after every event.
+func TestSetCapacityLeavesSharersConsistent(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	link := s.NewResource("link", 1000)
+	disk := s.NewResource("disk", 100)
+	var ends []float64
+	k.Spawn("nfs", func(p *des.Proc) {
+		s.Start(900, 0, Use{link, 1}, Use{disk, 1}).Await(p)
+		ends = append(ends, p.Now())
+	})
+	k.Spawn("local", func(p *des.Proc) {
+		s.Transfer(600, disk).Await(p)
+		ends = append(ends, p.Now())
+	})
+	for _, at := range []float64{1, 3, 6, 9} {
+		k.At(at, func() {
+			if err := s.CheckInvariants(); err != nil {
+				t.Errorf("invariants at t=%v: %v", at, err)
+			}
+		})
+	}
+	// Degrade the link to 20 B/s at t=2: the NFS activity becomes
+	// link-bound, leaving the local transfer more disk bandwidth.
+	k.At(2, func() { s.SetCapacity(link, 20) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// [0,2): both share disk at 50 B/s each (link slack). At t=2 NFS has
+	// 800 left and drops to 20 B/s (link); local has 500 left and takes
+	// 80 B/s of disk → done at t=8.25. NFS finishes at t=42.
+	if len(ends) != 2 {
+		t.Fatalf("ends = %v, want 2 entries", ends)
+	}
+	if !almost(ends[0], 8.25, 1e-9) {
+		t.Fatalf("local end = %v, want 8.25", ends[0])
+	}
+	if !almost(ends[1], 42, 1e-9) {
+		t.Fatalf("nfs end = %v, want 42", ends[1])
+	}
+}
+
+// TestSetCapacityDeterminism runs the same faulted workload twice and
+// requires bit-identical completion times.
+func TestSetCapacityDeterminism(t *testing.T) {
+	run := func() []float64 {
+		k := des.NewKernel()
+		s := NewSystem(k)
+		disk := s.NewResource("disk", 313)
+		link := s.NewResource("link", 977)
+		var ends []float64
+		for i := 0; i < 5; i++ {
+			work := float64(700 + 137*i)
+			k.Spawn("app", func(p *des.Proc) {
+				p.Sleep(float64(i))
+				s.Start(work, 0, Use{link, 1}, Use{disk, 1}).Await(p)
+				ends = append(ends, p.Now())
+			})
+		}
+		k.At(2.5, func() { s.SetCapacity(disk, 41) })
+		k.At(4.25, func() { s.SetCapacity(link, 0) })
+		k.At(6.75, func() { s.SetCapacity(link, 977) })
+		k.At(7.5, func() { s.SetCapacity(disk, 313) })
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		return ends
+	}
+	a, b := run(), run()
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("runs completed %d and %d activities, want 5", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSetCapacityNoOp asserts that re-setting the current capacity does not
+// perturb completion times (no spurious re-solve events).
+func TestSetCapacityNoOp(t *testing.T) {
+	run := func(noop bool) float64 {
+		k := des.NewKernel()
+		s := NewSystem(k)
+		disk := s.NewResource("disk", 100)
+		var end float64
+		k.Spawn("app", func(p *des.Proc) {
+			s.Transfer(1000, disk).Await(p)
+			end = p.Now()
+		})
+		if noop {
+			k.At(5, func() { s.SetCapacity(disk, 100) })
+		}
+		if err := k.Run(); err != nil {
+			panic(err)
+		}
+		return end
+	}
+	if with, without := run(true), run(false); with != without {
+		t.Fatalf("no-op SetCapacity changed completion: %v != %v", with, without)
+	}
+}
+
+// TestSetCapacityRejectsInvalid verifies the panic contract.
+func TestSetCapacityRejectsInvalid(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	disk := s.NewResource("disk", 100)
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetCapacity(%v) did not panic", bad)
+				}
+			}()
+			s.SetCapacity(disk, bad)
+		}()
+	}
+}

@@ -29,13 +29,24 @@ type Remote struct {
 	// write cache and the server cache was configured as writethrough".
 	ServerWriteback bool
 	srvIO           *core.IOController
+
+	// Retry is the mount's failure-handling configuration (see retry.go).
+	// The zero value is a Linux hard mount: operations stall until the
+	// server recovers.
+	Retry RetryConfig
+
+	down      bool        // server currently unavailable
+	epoch     uint64      // bumped on every ServerDown; detects lost replies
+	recovered *des.Signal // broadcast by ServerUp to wake hard-mount waiters
+	lostBytes int64       // dirty server-cache bytes destroyed by restarts
 }
 
 // New creates a Remote. mgr may be nil for an uncached server (used by the
 // cacheless baseline). chunk is the server-side I/O granularity for the
 // writeback variant.
 func New(sys *fluid.System, link *platform.Link, disk, mem *platform.Device, mgr *core.Manager, chunk int64) (*Remote, error) {
-	r := &Remote{sys: sys, link: link, disk: disk, mem: mem, mgr: mgr}
+	r := &Remote{sys: sys, link: link, disk: disk, mem: mem, mgr: mgr,
+		recovered: des.NewSignal(sys.Kernel())}
 	if mgr != nil {
 		io, err := core.NewIOController(mgr, chunk)
 		if err != nil {
@@ -62,14 +73,21 @@ func (r *Remote) transfer(p *des.Proc, n int64, dir, dev *fluid.Resource) {
 }
 
 // RawRead streams n bytes disk→client with no server cache involvement
-// (cacheless baseline).
-func (r *Remote) RawRead(p *des.Proc, n int64) {
-	r.transfer(p, n, r.link.Down(), r.disk.ReadRes())
+// (cacheless baseline). It fails only under the non-hard retry policies
+// while the server is down.
+func (r *Remote) RawRead(p *des.Proc, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	return r.do(p, func() { r.transfer(p, n, r.link.Down(), r.disk.ReadRes()) })
 }
 
 // RawWrite streams n bytes client→disk with no server cache involvement.
-func (r *Remote) RawWrite(p *des.Proc, n int64) {
-	r.transfer(p, n, r.link.Up(), r.disk.WriteRes())
+func (r *Remote) RawWrite(p *des.Proc, n int64) error {
+	if n <= 0 {
+		return nil
+	}
+	return r.do(p, func() { r.transfer(p, n, r.link.Up(), r.disk.WriteRes()) })
 }
 
 // srvCaller adapts the server-side cache bookkeeping to core.Caller. Server
@@ -98,15 +116,20 @@ func (c srvCaller) MemWrite(n int64) {
 // Read serves n bytes of file (whose current size is fileSize) to the
 // client: server cache hits stream from server memory, misses from the
 // server disk (and populate the server read cache). The client process p
-// blocks for the whole exchange, RPC-style.
-func (r *Remote) Read(p *des.Proc, file string, fileSize, n int64) {
+// blocks for the whole exchange, RPC-style. While the server is down the
+// mount's retry policy decides between stalling and ErrServerDown; a
+// restart mid-exchange is replayed against the (now cold) server cache.
+func (r *Remote) Read(p *des.Proc, file string, fileSize, n int64) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if r.mgr == nil {
-		r.RawRead(p, n)
-		return
+		return r.RawRead(p, n)
 	}
+	return r.do(p, func() { r.read(p, file, fileSize, n) })
+}
+
+func (r *Remote) read(p *des.Proc, file string, fileSize, n int64) {
 	c := srvCaller{p: p, r: r}
 	diskRead := fileSize - r.mgr.Cached(file)
 	if diskRead > n {
@@ -139,20 +162,23 @@ func (r *Remote) Read(p *des.Proc, file string, fileSize, n int64) {
 // default writethrough server cache the data lands on the server disk at
 // disk speed and is then cached clean server-side; with a writeback server
 // it is absorbed by the server page cache subject to dirty throttling
-// (Algorithm 3 running on the server).
-func (r *Remote) Write(p *des.Proc, file string, n int64) {
+// (Algorithm 3 running on the server). Failure handling matches Read.
+func (r *Remote) Write(p *des.Proc, file string, n int64) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if r.mgr == nil {
-		r.RawWrite(p, n)
-		return
+		return r.RawWrite(p, n)
 	}
+	return r.do(p, func() { r.write(p, file, n) })
+}
+
+func (r *Remote) write(p *des.Proc, file string, n int64) {
 	c := srvCaller{p: p, r: r}
 	if r.ServerWriteback {
 		if err := r.srvIO.WriteChunk(c, file, n); err != nil {
 			// Server cache exhausted: degrade to writethrough semantics.
-			r.RawWrite(p, n)
+			r.transfer(p, n, r.link.Up(), r.disk.WriteRes())
 		}
 		return
 	}
@@ -167,7 +193,7 @@ func (r *Remote) Write(p *des.Proc, file string, n int64) {
 // meaningful for a writeback server; a no-op otherwise). The flusher
 // process is owned by whoever built the Remote.
 func (r *Remote) BackgroundTick(p *des.Proc) {
-	if r.mgr == nil || !r.ServerWriteback {
+	if r.mgr == nil || !r.ServerWriteback || r.down {
 		return
 	}
 	c := srvCaller{p: p, r: r}

@@ -1,0 +1,186 @@
+// NFS client-side failure handling: server down/up state, request replay,
+// and the per-mount retry policies of real NFS mounts (hard, soft with
+// exponential backoff, and error-out).
+package nfs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/des"
+)
+
+// ErrServerDown is returned (wrapped) by client operations that give up on
+// an unavailable server under the RetryBackoff and RetryError policies.
+var ErrServerDown = errors.New("nfs: server unavailable")
+
+// RetryPolicy selects how a client operation behaves while the server is
+// down, mirroring Linux NFS mount options.
+type RetryPolicy int
+
+const (
+	// RetryHard (the default, like Linux `hard`): the operation stalls
+	// until the server recovers, then replays. It never fails.
+	RetryHard RetryPolicy = iota
+	// RetryBackoff (like `soft` with retrans): the operation retries with
+	// exponentially growing timeouts and fails with ErrServerDown once
+	// MaxRetries attempts have elapsed without recovery.
+	RetryBackoff
+	// RetryError (like `soft,retrans=1`): the operation waits one timeout
+	// and then fails with ErrServerDown if the server is still down.
+	RetryError
+)
+
+// ParseRetryPolicy maps the mount-option spelling to a policy. The empty
+// string selects RetryHard, the kernel default.
+func ParseRetryPolicy(s string) (RetryPolicy, error) {
+	switch s {
+	case "", "hard":
+		return RetryHard, nil
+	case "backoff":
+		return RetryBackoff, nil
+	case "error":
+		return RetryError, nil
+	}
+	return 0, fmt.Errorf("nfs: unknown retry policy %q (want hard, backoff or error)", s)
+}
+
+// String returns the mount-option spelling.
+func (p RetryPolicy) String() string {
+	switch p {
+	case RetryBackoff:
+		return "backoff"
+	case RetryError:
+		return "error"
+	}
+	return "hard"
+}
+
+// RetryConfig tunes the per-mount retry behavior. The zero value is a Linux
+// hard mount with a 1 s timeout.
+type RetryConfig struct {
+	Policy RetryPolicy
+	// TimeoutS is the initial request timeout in seconds (default 1).
+	TimeoutS float64
+	// BackoffFactor multiplies the timeout after each failed retry
+	// (default 2; RetryBackoff only).
+	BackoffFactor float64
+	// MaxBackoffS caps the grown timeout (default 60; RetryBackoff only).
+	MaxBackoffS float64
+	// MaxRetries bounds the attempts before giving up (default 5;
+	// RetryBackoff only).
+	MaxRetries int
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.TimeoutS <= 0 {
+		c.TimeoutS = 1
+	}
+	if c.BackoffFactor <= 1 {
+		c.BackoffFactor = 2
+	}
+	if c.MaxBackoffS <= 0 {
+		c.MaxBackoffS = 60
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	return c
+}
+
+// ServerDown marks the server unavailable (crash or restart begins). A
+// restart loses the server's RAM: the page cache is cleared, and any dirty
+// writeback data that had not reached the disk is lost for good (tracked by
+// LostWriteBytes — the observable behind no-data-loss assertions). New
+// client operations block or fail per their mount's RetryConfig; in-flight
+// exchanges lose their reply and are replayed by the client once the
+// current attempt's transfer drains. Idempotent while down. Safe to call
+// from a kernel timer callback (it never parks).
+func (r *Remote) ServerDown() {
+	if r.down {
+		return
+	}
+	r.down = true
+	r.epoch++
+	if r.mgr != nil {
+		r.lostBytes += r.mgr.Dirty()
+		for _, f := range r.mgr.CachedFiles() {
+			r.mgr.InvalidateFile(f)
+		}
+	}
+}
+
+// ServerUp completes a server restart: stalled hard-mount clients resume.
+// The server cache restarts cold. Idempotent while up. Safe to call from a
+// kernel timer callback (it never parks).
+func (r *Remote) ServerUp() {
+	if !r.down {
+		return
+	}
+	r.down = false
+	r.recovered.Broadcast()
+}
+
+// Down reports whether the server is currently unavailable.
+func (r *Remote) Down() bool { return r.down }
+
+// LostWriteBytes is the cumulative dirty server-cache data destroyed by
+// server restarts before it was written back (always 0 for writethrough
+// servers — the configuration the paper measures — and for runs without
+// server faults).
+func (r *Remote) LostWriteBytes() int64 { return r.lostBytes }
+
+// do runs one client request: it waits out (or errors on) server downtime
+// per the mount's retry policy, then runs body; if the server restarted
+// while the request was in flight the reply is lost and the request is
+// replayed — the time already spent is the cost of the failed attempt.
+// With the server up throughout, do adds no simulated events at all, so
+// fault-free runs are bit-identical to the pre-retry implementation.
+func (r *Remote) do(p *des.Proc, body func()) error {
+	attempt := 0
+	for {
+		if r.down {
+			if err := r.waitRecovery(p, &attempt); err != nil {
+				return err
+			}
+			continue
+		}
+		epoch := r.epoch
+		body()
+		if r.epoch == epoch {
+			return nil
+		}
+	}
+}
+
+// waitRecovery blocks p until the server recovers or the policy gives up.
+func (r *Remote) waitRecovery(p *des.Proc, attempt *int) error {
+	cfg := r.Retry.withDefaults()
+	switch cfg.Policy {
+	case RetryBackoff:
+		delay := cfg.TimeoutS
+		for r.down {
+			if *attempt >= cfg.MaxRetries {
+				return fmt.Errorf("nfs: %d retries exhausted: %w", cfg.MaxRetries, ErrServerDown)
+			}
+			*attempt++
+			p.Sleep(delay)
+			delay *= cfg.BackoffFactor
+			if delay > cfg.MaxBackoffS {
+				delay = cfg.MaxBackoffS
+			}
+		}
+		return nil
+	case RetryError:
+		p.Sleep(cfg.TimeoutS)
+		if r.down {
+			return fmt.Errorf("nfs: request timed out after %gs: %w", cfg.TimeoutS, ErrServerDown)
+		}
+		return nil
+	default: // RetryHard: stall until recovery, however long it takes.
+		for r.down {
+			r.recovered.Wait(p)
+		}
+		return nil
+	}
+}

@@ -1,0 +1,186 @@
+package nfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestRetryPolicies drives each failure mode × mount policy combination and
+// asserts exact, deterministic recovery (or failure) times. The rig's raw
+// read of 100 B takes 10 s (min(link 50, disk 10) = 10 B/s).
+//
+// Down-at-open cases fail the server before the request starts; the
+// mid-transfer cases restart it while the exchange is in flight — the
+// client loses the reply, waits out the remaining downtime per policy, and
+// replays the full request (the 10 s already spent are the cost of the
+// failed attempt).
+func TestRetryPolicies(t *testing.T) {
+	cases := []struct {
+		name         string
+		cfg          RetryConfig
+		downAt, upAt float64
+		wantErr      bool
+		wantEnd      float64
+	}{
+		// Server down when the request is issued (t=0).
+		{"hard/down-at-open", RetryConfig{Policy: RetryHard}, 0, 7, false, 17},
+		// Backoff sleeps 1+2+4 s, finds the server back at t=7, transfers.
+		{"backoff/down-at-open", RetryConfig{Policy: RetryBackoff}, 0, 7, false, 17},
+		// Sleeps 1+2+4+8+16 s (5 attempts), then gives up at t=31.
+		{"backoff/retries-exhausted", RetryConfig{Policy: RetryBackoff}, 0, 100, true, 31},
+		// Soft mount: one 1 s timeout, then the op fails.
+		{"error/down-at-open", RetryConfig{Policy: RetryError}, 0, 7, true, 1},
+		// Restart during the transfer, recovered before it drains: the
+		// reply is lost at t=10 and the replay finishes at t=20.
+		{"hard/mid-transfer-restart", RetryConfig{Policy: RetryHard}, 4, 6, false, 20},
+		// Restart with a long outage: hard stalls until t=15, replays.
+		{"hard/mid-transfer-outage", RetryConfig{Policy: RetryHard}, 4, 15, false, 25},
+		// Backoff wakes at 11, 13, 17; the server is back at 15 → replay.
+		{"backoff/mid-transfer-outage", RetryConfig{Policy: RetryBackoff}, 4, 15, false, 27},
+		// Soft mount times out 1 s after the lost reply.
+		{"error/mid-transfer-outage", RetryConfig{Policy: RetryError}, 4, 15, true, 11},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() (float64, error) {
+				rg := newRig(t, false, false)
+				rg.r.Retry = tc.cfg
+				rg.k.At(tc.downAt, rg.r.ServerDown)
+				rg.k.At(tc.upAt, rg.r.ServerUp)
+				var end float64
+				var opErr error
+				rg.k.Spawn("p", func(p *des.Proc) {
+					opErr = rg.r.RawRead(p, 100)
+					end = p.Now()
+				})
+				if err := rg.k.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return end, opErr
+			}
+			end, err := run()
+			if tc.wantErr {
+				if !errors.Is(err, ErrServerDown) {
+					t.Fatalf("err = %v, want ErrServerDown", err)
+				}
+			} else if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !near(end, tc.wantEnd, 1e-9) {
+				t.Fatalf("end = %v, want %v", end, tc.wantEnd)
+			}
+			// Recovery must be deterministic: a second run lands on the
+			// bit-identical instant.
+			end2, err2 := run()
+			if end2 != end || (err2 == nil) != (err == nil) {
+				t.Fatalf("non-deterministic recovery: %v/%v vs %v/%v", end, err, end2, err2)
+			}
+		})
+	}
+}
+
+// TestLinkBlipStallsTransfer degrades the link to zero mid-read: the
+// transfer freezes in place and resumes when the link recovers — no
+// timeout, no error, any policy. 20 B flow in [0,2), the blip lasts 5 s,
+// and the remaining 80 B drain in 8 s → completion at exactly 15 s.
+func TestLinkBlipStallsTransfer(t *testing.T) {
+	for _, policy := range []RetryPolicy{RetryHard, RetryBackoff, RetryError} {
+		t.Run(policy.String(), func(t *testing.T) {
+			rg := newRig(t, false, false)
+			rg.r.Retry = RetryConfig{Policy: policy}
+			rg.k.At(2, func() { rg.link.SetBandwidthScale(0) })
+			rg.k.At(7, func() { rg.link.SetBandwidthScale(1) })
+			var end float64
+			var opErr error
+			rg.k.Spawn("p", func(p *des.Proc) {
+				opErr = rg.r.RawRead(p, 100)
+				end = p.Now()
+			})
+			if err := rg.k.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if opErr != nil {
+				t.Fatalf("link blip surfaced error: %v", opErr)
+			}
+			if !near(end, 15, 1e-9) {
+				t.Fatalf("end = %v, want 15", end)
+			}
+		})
+	}
+}
+
+// TestServerRestartLosesDirtyCache: a writeback server absorbs a write into
+// its page cache; a restart before writeback destroys that data
+// (LostWriteBytes — the no-data-loss observable) and cold-starts the cache,
+// so a post-restart read pays full disk speed.
+func TestServerRestartLosesDirtyCache(t *testing.T) {
+	rg := newRig(t, true, true)
+	var readDur float64
+	rg.k.Spawn("p", func(p *des.Proc) {
+		if err := rg.r.Write(p, "f", 100); err != nil { // absorbed dirty, 2 s
+			t.Errorf("write: %v", err)
+		}
+		p.Sleep(8 - p.Now()) // restart happens at t=5 while we idle
+		start := p.Now()
+		if err := rg.r.Read(p, "f", 100, 100); err != nil {
+			t.Errorf("read: %v", err)
+		}
+		readDur = p.Now() - start
+	})
+	rg.k.At(5, func() {
+		rg.r.ServerDown()
+		if got := rg.r.LostWriteBytes(); got != 100 {
+			t.Errorf("LostWriteBytes = %d, want 100", got)
+		}
+		if got := rg.mgr.CacheBytes(); got != 0 {
+			t.Errorf("server cache %d bytes after restart, want 0", got)
+		}
+	})
+	rg.k.At(6, rg.r.ServerUp)
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Cold server cache: 100 B from disk at 10 B/s, not 2 s from memory.
+	if !near(readDur, 10, 1e-6) {
+		t.Fatalf("post-restart read = %v, want 10 (cold cache)", readDur)
+	}
+}
+
+// TestServerRestartWritethroughLosesNoData: with the paper's writethrough
+// server the data is durable before the reply, so a restart clears the
+// (clean) cache but LostWriteBytes stays 0.
+func TestServerRestartWritethroughLosesNoData(t *testing.T) {
+	rg := newRig(t, true, false)
+	rg.k.Spawn("p", func(p *des.Proc) {
+		if err := rg.r.Write(p, "f", 100); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	})
+	rg.k.At(12, rg.r.ServerDown)
+	rg.k.At(13, rg.r.ServerUp)
+	if err := rg.k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rg.r.LostWriteBytes(); got != 0 {
+		t.Fatalf("LostWriteBytes = %d, want 0 (writethrough)", got)
+	}
+	if got := rg.mgr.CacheBytes(); got != 0 {
+		t.Fatalf("server cache %d bytes after restart, want 0", got)
+	}
+}
+
+func TestParseRetryPolicy(t *testing.T) {
+	for s, want := range map[string]RetryPolicy{
+		"": RetryHard, "hard": RetryHard, "backoff": RetryBackoff, "error": RetryError,
+	} {
+		got, err := ParseRetryPolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseRetryPolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseRetryPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+}

@@ -5,6 +5,7 @@ package platform
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/des"
 	"repro/internal/fluid"
@@ -73,6 +74,22 @@ func (d *Device) Name() string { return d.spec.Name }
 func (d *Device) ReadRes() *fluid.Resource  { return d.read }
 func (d *Device) WriteRes() *fluid.Resource { return d.write }
 
+// SetBandwidthScale rescales the device's channel capacities to factor ×
+// the nominal spec bandwidths — the fault-injection hook for disk
+// slowdowns (factor < 1), failures (factor 0: in-flight transfers stall in
+// place) and recovery (factor 1). A shared channel is rescaled once
+// against ReadBW, mirroring NewDevice. Negative, NaN and infinite factors
+// panic.
+func (d *Device) SetBandwidthScale(factor float64) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("platform: device %q: invalid bandwidth scale %v", d.spec.Name, factor))
+	}
+	d.sys.SetCapacity(d.read, d.spec.ReadBW*factor)
+	if d.write != d.read {
+		d.sys.SetCapacity(d.write, d.spec.WriteBW*factor)
+	}
+}
+
 // Read blocks p for the fair-shared duration of an n-byte read.
 func (d *Device) Read(p *des.Proc, n int64) {
 	if n <= 0 {
@@ -130,6 +147,18 @@ func (l *Link) Spec() LinkSpec { return l.spec }
 // Up is the client→server direction resource; Down is server→client.
 func (l *Link) Up() *fluid.Resource   { return l.up }
 func (l *Link) Down() *fluid.Resource { return l.down }
+
+// SetBandwidthScale rescales both directions to factor × the nominal spec
+// bandwidth — the fault-injection hook for link degradation (factor < 1),
+// partition (factor 0: in-flight transfers stall in place) and recovery
+// (factor 1). Negative, NaN and infinite factors panic.
+func (l *Link) SetBandwidthScale(factor float64) {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("platform: link %q: invalid bandwidth scale %v", l.spec.Name, factor))
+	}
+	l.sys.SetCapacity(l.up, l.spec.BW*factor)
+	l.sys.SetCapacity(l.down, l.spec.BW*factor)
+}
 
 // HostSpec configures a simulated host.
 type HostSpec struct {
