@@ -2,15 +2,22 @@
 // figures 4a–8, printing the same rows/series the paper reports and writing
 // CSV data under -out.
 //
+// Every experiment enumerates its independent simulation cells into one
+// grid, fanned out over -workers in-process workers (or -worker-cmd
+// subprocesses) and merged deterministically: the report is byte-identical
+// for every worker count. See README.md for the fan-out protocol.
+//
 // Usage:
 //
 //	experiments                      # everything, full scale
 //	experiments -quick               # thinned sweeps for a fast pass
+//	experiments -quick -workers 8    # same bytes, 8-way parallel
 //	experiments -exp1 -sizes 20,100  # just Exp 1 at selected sizes (GB)
 //	experiments -exp2 -exp3 -reps 5  # concurrency experiments
 //	experiments -fig8 -ablations
 //	experiments -policies            # cache-policy ablation (lru/clock/fifo/lfu)
 //	experiments -writebacks          # writeback-policy ablation (list-order/oldest-first/file-rr/proportional)
+//	experiments -worker              # serve cells over stdin/stdout (spawned via -worker-cmd)
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/grid"
 	"repro/internal/platform"
 	"repro/internal/textplot"
 	"repro/internal/units"
@@ -44,7 +52,7 @@ func Main(args []string, stdout io.Writer) int {
 		exp3      = fs.Bool("exp3", false, "Exp 3: concurrent applications, NFS (Fig 7)")
 		exp4      = fs.Bool("exp4", false, "Exp 4: Nighres workflow (Fig 6)")
 		fig8      = fs.Bool("fig8", false, "Fig 8: simulation-time scaling")
-		timings   = fs.Bool("timings", false, "include wall-clock timings in Fig 8 output (nondeterministic across runs)")
+		timings   = fs.Bool("timings", false, "include wall-clock timings in Fig 8 output and print per-cell progress plus the grid utilization summary (nondeterministic across runs)")
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
 		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
 		wbacks    = fs.Bool("writebacks", false, "writeback-policy ablation across registered writeback policies (not part of -all)")
@@ -54,9 +62,23 @@ func Main(args []string, stdout io.Writer) int {
 		sizes     = fs.String("sizes", "20,100", "Exp 1 file sizes in GB, comma-separated")
 		reps      = fs.Int("reps", 5, "real-proxy repetitions for Exps 2-3")
 		outDir    = fs.String("out", "results", "output directory for CSV files")
+
+		workers   = fs.Int("workers", 0, "grid worker count (0: GOMAXPROCS)")
+		worker    = fs.Bool("worker", false, "serve as a grid worker: read JSON cell specs on stdin, stream JSON results on stdout")
+		workerCmd = fs.String("worker-cmd", "", "fan cells out to subprocesses: argv spawned once per worker slot (e.g. \"./experiments -worker\" or \"ssh host experiments -worker\")")
+		cellTO    = fs.Duration("cell-timeout", 0, "per-cell attempt timeout (0: none)")
+		cellRetry = fs.Int("cell-retries", 0, "extra attempts after a failed cell (error, panic, timeout, dead worker)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *worker {
+		// Stdout carries nothing but protocol frames in worker mode.
+		if err := grid.ServeWorker(os.Stdin, stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks) {
 		*all = true
@@ -72,10 +94,7 @@ func Main(args []string, stdout io.Writer) int {
 			*reps = 2
 		}
 	}
-
-	if *tables {
-		printTables(stdout)
-	}
+	var sizesGB []int
 	if *exp1 {
 		for _, gbStr := range strings.Split(*sizes, ",") {
 			gb, err := strconv.Atoi(strings.TrimSpace(gbStr))
@@ -83,118 +102,206 @@ func Main(args []string, stdout io.Writer) int {
 				fmt.Fprintf(os.Stderr, "experiments: bad -sizes entry %q: %v\n", gbStr, err)
 				return 2
 			}
-			res, err := exp.RunExp1(int64(gb) * units.GB)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: exp1 %dGB: %v\n", gb, err)
-				return 1
-			}
-			res.Render(stdout)
-			if *profiles {
-				res.RenderMemProfiles(stdout)
-			}
-			if *contents {
-				res.RenderCacheContents(stdout)
-			}
-			fmt.Fprintln(stdout)
-			name := fmt.Sprintf("exp1_%dgb_mem_%%s.csv", gb)
-			for st, ms := range res.Mem {
-				ms := ms
-				if err := exp.SaveCSV(*outDir, fmt.Sprintf(name, st), ms.WriteCSV); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					return 1
-				}
-			}
+			sizesGB = append(sizesGB, gb)
+		}
+	}
+
+	if *tables {
+		printTables(stdout)
+	}
+
+	// Build the report's sections in output order; the grid runs their cells
+	// in one shared pool and the emitter streams each section out as soon as
+	// its cells and every earlier section are done.
+	var sections []exp.Section
+	if *exp1 {
+		for _, gb := range sizesGB {
+			gb := gb
+			size := int64(gb) * units.GB
+			key := fmt.Sprintf("exp1-%dgb", gb)
+			sections = append(sections, exp.Section{
+				Key:   key,
+				Specs: exp.Exp1Cells(key, size),
+				Merge: func(ps []grid.Payload) (*exp.Output, error) {
+					res, err := exp.MergeExp1(size, ps)
+					if err != nil {
+						return nil, err
+					}
+					out := &exp.Output{Render: func(w io.Writer) {
+						res.Render(w)
+						if *profiles {
+							res.RenderMemProfiles(w)
+						}
+						if *contents {
+							res.RenderCacheContents(w)
+						}
+						fmt.Fprintln(w)
+					}}
+					for _, st := range exp.Exp1Stacks() {
+						ms := res.Mem[st]
+						if ms == nil {
+							continue
+						}
+						out.CSVs = append(out.CSVs, exp.CSV{
+							Name:  fmt.Sprintf("exp1_%dgb_mem_%s.csv", gb, st),
+							Write: ms.WriteCSV,
+						})
+					}
+					return out, nil
+				},
+			})
 		}
 	}
 	if *exp2 {
-		res, err := exp.RunExp2(levels, *reps)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: exp2: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
-		if err := exp.SaveCSV(*outDir, "exp2_fig5.csv", res.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
+		sections = append(sections, concurrentSection("exp2", false, levels, *reps, "exp2_fig5.csv"))
 	}
 	if *exp3 {
-		res, err := exp.RunExp3(levels, *reps)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: exp3: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
-		if err := exp.SaveCSV(*outDir, "exp3_fig7.csv", res.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
+		sections = append(sections, concurrentSection("exp3", true, levels, *reps, "exp3_fig7.csv"))
 	}
 	if *exp4 {
-		res, err := exp.RunExp4()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: exp4: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
+		sections = append(sections, exp.Section{
+			Key:   "exp4",
+			Specs: exp.Exp4Cells("exp4"),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeExp4(ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{Render: renderThenBlank(res.Render)}, nil
+			},
+		})
 	}
 	if *fig8 {
-		res, err := exp.RunSimTime(levels)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: fig8: %v\n", err)
-			return 1
-		}
-		res.Timings = *timings
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
-		if err := exp.SaveCSV(*outDir, "fig8_simtime.csv", res.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
+		sections = append(sections, exp.Section{
+			Key:   "fig8",
+			Specs: exp.Fig8Cells("fig8", levels),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeFig8(levels, *timings, ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{
+					Render: renderThenBlank(res.Render),
+					CSVs:   []exp.CSV{{Name: "fig8_simtime.csv", Write: res.WriteCSV}},
+				}, nil
+			},
+		})
 	}
 	if *ablations {
-		res, err := exp.RunAblations(100 * units.GB)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: ablations: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
+		sections = append(sections, exp.Section{
+			Key:   "ablations",
+			Specs: exp.AblationCells("ablations", 100*units.GB),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeAblation(100*units.GB, ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{Render: renderThenBlank(res.Render)}, nil
+			},
+		})
 	}
 	if *policies {
-		res, err := exp.RunPolicyAblation(*quick)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: policies: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
-		if err := exp.SaveCSV(*outDir, "policy_ablation.csv", res.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
+		sections = append(sections, exp.Section{
+			Key:   "policies",
+			Specs: exp.PolicyCells("policies", *quick),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergePolicy(*quick, ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{
+					Render: renderThenBlank(res.Render),
+					CSVs:   []exp.CSV{{Name: "policy_ablation.csv", Write: res.WriteCSV}},
+				}, nil
+			},
+		})
 	}
 	if *wbacks {
-		res, err := exp.RunWritebackAblation(*quick)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: writebacks: %v\n", err)
-			return 1
-		}
-		res.Render(stdout)
-		fmt.Fprintln(stdout)
-		if err := exp.SaveCSV(*outDir, "writeback_ablation.csv", res.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
-		if err := exp.SaveCSV(*outDir, "writeback_hitratio.csv", res.WriteSeriesCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
+		sections = append(sections, exp.Section{
+			Key:   "writebacks",
+			Specs: exp.WritebackCells("writebacks", *quick),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeWriteback(*quick, ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{
+					Render: renderThenBlank(res.Render),
+					CSVs: []exp.CSV{
+						{Name: "writeback_ablation.csv", Write: res.WriteCSV},
+						{Name: "writeback_hitratio.csv", Write: res.WriteSeriesCSV},
+					},
+				}, nil
+			},
+		})
+	}
+	if len(sections) == 0 {
+		return 0
+	}
+
+	specs := exp.SpecsOf(sections)
+	em := exp.NewEmitter(stdout, *outDir, sections)
+	opts := grid.Options{Workers: *workers, Timeout: *cellTO, Retries: *cellRetry}
+	if *workerCmd != "" {
+		opts.WorkerCmd = strings.Fields(*workerCmd)
+	}
+	if *timings {
+		opts.Progress = func(done, total int, r grid.Result) {
+			status := "ok"
+			if r.Err != "" {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s %s (%.1fs, worker %d)\n",
+				done, total, r.Coord, status, r.Seconds, r.Worker)
 		}
 	}
+	stats, err := grid.Run(specs, opts, em.Deliver)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	if *timings {
+		fmt.Fprintf(stdout, "== Grid: %d cells on %d workers ==\n", stats.Cells, stats.Workers())
+		fmt.Fprintf(stdout, "wall %.1fs, busy %.1fs, utilization %.0f%%, effective parallelism %.1fx\n",
+			stats.WallSeconds, stats.Busy(), 100*stats.Utilization(), stats.Parallelism())
+		if stats.Failed > 0 || stats.Retried > 0 {
+			fmt.Fprintf(stdout, "failed %d, retried %d\n", stats.Failed, stats.Retried)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if fails := em.Failures(); len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "experiments: %s\n", f)
+		}
+		return 1
+	}
 	return 0
+}
+
+// concurrentSection builds the Exp 2/3 (Fig 5/7) section.
+func concurrentSection(key string, remote bool, levels []int, reps int, csvName string) exp.Section {
+	return exp.Section{
+		Key:   key,
+		Specs: exp.ConcurrentCells(key, remote, 3*units.GB, levels, reps),
+		Merge: func(ps []grid.Payload) (*exp.Output, error) {
+			res, err := exp.MergeConcurrent(remote, levels, reps, ps)
+			if err != nil {
+				return nil, err
+			}
+			return &exp.Output{
+				Render: renderThenBlank(res.Render),
+				CSVs:   []exp.CSV{{Name: csvName, Write: res.WriteCSV}},
+			}, nil
+		},
+	}
+}
+
+// renderThenBlank appends the blank separator line every section ends with.
+func renderThenBlank(render func(io.Writer)) func(io.Writer) {
+	return func(w io.Writer) {
+		render(w)
+		fmt.Fprintln(w)
+	}
 }
 
 func printTables(w io.Writer) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/platform"
 	"repro/internal/pysim"
@@ -29,9 +30,47 @@ type Exp1Result struct {
 	Snaps map[Stack]*trace.SnapshotLog
 }
 
-// RunExp1 executes Exp 1 for one input size across all four stacks:
-// real-proxy, prototype, cacheless baseline, and page-cache model.
-func RunExp1(size int64) (*Exp1Result, error) {
+// exp1Stacks orders the four compared stacks; a cell's Coord.I indexes it.
+var exp1Stacks = []Stack{StackReal, StackPysim, StackCacheless, StackCache}
+
+// Exp1Stacks lists the compared stacks in cell order (callers emit one
+// memory-profile CSV per stack).
+func Exp1Stacks() []Stack { return append([]Stack(nil), exp1Stacks...) }
+
+// exp1Args parameterizes one Exp 1 cell: one (size, stack) run.
+type exp1Args struct {
+	Size  int64 `json:"size"`
+	Stack Stack `json:"stack"`
+}
+
+// exp1Payload is one stack's observables.
+type exp1Payload struct {
+	Durations []float64          `json:"durations"`
+	Mem       *trace.MemSeries   `json:"mem,omitempty"`
+	Snaps     *trace.SnapshotLog `json:"snaps,omitempty"`
+}
+
+func init() {
+	grid.RegisterCell("exp1", func(a exp1Args) (any, error) { return runExp1Cell(a) })
+}
+
+// Exp1Cells enumerates Exp 1 at one size: one cell per stack.
+func Exp1Cells(section string, size int64) []grid.Spec {
+	specs := make([]grid.Spec, len(exp1Stacks))
+	for i, st := range exp1Stacks {
+		specs[i] = grid.NewSpec("exp1", grid.Coord{Section: section, I: i},
+			fmt.Sprintf("exp1 %s %s", units.FormatBytes(size), st),
+			costGB(size, 1), exp1Args{Size: size, Stack: st})
+	}
+	return specs
+}
+
+// MergeExp1 assembles the per-stack payloads (coordinate order) and computes
+// the Fig 4a error rows exactly as the sequential runner did.
+func MergeExp1(size int64, ps []grid.Payload) (*Exp1Result, error) {
+	if err := wantCells(ps, len(exp1Stacks)); err != nil {
+		return nil, fmt.Errorf("exp1: %w", err)
+	}
 	res := &Exp1Result{
 		Size:      size,
 		Ops:       workload.SyntheticOps(),
@@ -41,25 +80,16 @@ func RunExp1(size int64) (*Exp1Result, error) {
 		Mem:       map[Stack]*trace.MemSeries{},
 		Snaps:     map[Stack]*trace.SnapshotLog{},
 	}
-	cpu := workload.SyntheticCPU(size)
-	files := workload.SyntheticFiles(0)
-
-	// Real proxy.
-	if err := res.runEngine(StackReal, size, cpu, files, nil); err != nil {
+	pays, err := decodeAll[exp1Payload](ps)
+	if err != nil {
 		return nil, err
 	}
-	// Cacheless baseline and page-cache model.
-	if err := res.runEngine(StackCacheless, size, cpu, files, ptrMode(engine.ModeCacheless)); err != nil {
-		return nil, err
+	for i, pay := range pays {
+		st := exp1Stacks[ps[i].Coord.I]
+		res.Durations[st] = pay.Durations
+		res.Mem[st] = pay.Mem
+		res.Snaps[st] = pay.Snaps
 	}
-	if err := res.runEngine(StackCache, size, cpu, files, ptrMode(engine.ModeWriteback)); err != nil {
-		return nil, err
-	}
-	// Prototype.
-	if err := res.runPysim(size, cpu, files); err != nil {
-		return nil, err
-	}
-
 	real := res.Durations[StackReal]
 	for _, st := range []Stack{StackPysim, StackCacheless, StackCache} {
 		rows := metrics.Errors(res.Ops, real, res.Durations[st])
@@ -69,9 +99,38 @@ func RunExp1(size int64) (*Exp1Result, error) {
 	return res, nil
 }
 
+// RunExp1 executes Exp 1 for one input size across all four stacks:
+// real-proxy, prototype, cacheless baseline, and page-cache model. Cells
+// fan out over the default in-process pool.
+func RunExp1(size int64) (*Exp1Result, error) {
+	ps, err := runGrid(Exp1Cells("exp1", size))
+	if err != nil {
+		return nil, fmt.Errorf("exp1: %w", err)
+	}
+	return MergeExp1(size, ps)
+}
+
 func ptrMode(m engine.Mode) *engine.Mode { return &m }
 
-func (r *Exp1Result) runEngine(st Stack, size int64, cpu float64, files [4]string, mode *engine.Mode) error {
+// runExp1Cell executes one (size, stack) cell.
+func runExp1Cell(a exp1Args) (*exp1Payload, error) {
+	cpu := workload.SyntheticCPU(a.Size)
+	files := workload.SyntheticFiles(0)
+	ops := workload.SyntheticOps()
+	switch a.Stack {
+	case StackPysim:
+		return runExp1Pysim(a.Size, cpu, files, ops)
+	case StackReal:
+		return runExp1Engine(a.Stack, a.Size, cpu, files, ops, nil)
+	case StackCacheless:
+		return runExp1Engine(a.Stack, a.Size, cpu, files, ops, ptrMode(engine.ModeCacheless))
+	case StackCache:
+		return runExp1Engine(a.Stack, a.Size, cpu, files, ops, ptrMode(engine.ModeWriteback))
+	}
+	return nil, fmt.Errorf("exp1: unknown stack %q", a.Stack)
+}
+
+func runExp1Engine(st Stack, size int64, cpu float64, files [4]string, ops []string, mode *engine.Mode) (*exp1Payload, error) {
 	var rig *LocalRig
 	var err error
 	if mode == nil {
@@ -80,10 +139,10 @@ func (r *Exp1Result) runEngine(st Stack, size int64, cpu float64, files [4]strin
 		rig, err = NewLocalSim(*mode)
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := createInput(rig.Sim, rig.Part, files[0], size); err != nil {
-		return err
+		return nil, err
 	}
 	rig.Host.EnableMemTrace(1)
 	rig.Sim.SpawnApp(rig.Host, 0, string(st), func(a *engine.App) error {
@@ -92,15 +151,16 @@ func (r *Exp1Result) runEngine(st Stack, size int64, cpu float64, files [4]strin
 		})
 	})
 	if err := rig.Sim.Run(); err != nil {
-		return fmt.Errorf("exp1 %s: %w", st, err)
+		return nil, fmt.Errorf("exp1 %s: %w", st, err)
 	}
-	r.Durations[st] = opDurations(rig.Sim.Log, r.Ops)
-	r.Mem[st] = rig.Host.MemTrace
-	r.Snaps[st] = rig.Host.Snaps
-	return nil
+	return &exp1Payload{
+		Durations: opDurations(rig.Sim.Log, ops),
+		Mem:       rig.Host.MemTrace,
+		Snaps:     rig.Host.Snaps,
+	}, nil
 }
 
-func (r *Exp1Result) runPysim(size int64, cpu float64, files [4]string) error {
+func runExp1Pysim(size int64, cpu float64, files [4]string, ops []string) (*exp1Payload, error) {
 	t3 := platform.TableIII()
 	sim, err := pysim.New(pysim.Config{
 		MemBW:  units.MBps(t3.SimMemMBps),
@@ -109,18 +169,19 @@ func (r *Exp1Result) runPysim(size int64, cpu float64, files [4]string) error {
 		Chunk:  ChunkSize,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sim.CreateFile(files[0], size)
 	if err := workload.RunSynthetic(sim, workload.SyntheticSpec{
 		Size: size, CPU: cpu, Files: files, Snapshot: true,
 	}); err != nil {
-		return fmt.Errorf("exp1 pysim: %w", err)
+		return nil, fmt.Errorf("exp1 pysim: %w", err)
 	}
-	r.Durations[StackPysim] = opDurations(sim.Log, r.Ops)
-	r.Mem[StackPysim] = sim.MemTrace
-	r.Snaps[StackPysim] = sim.Snaps
-	return nil
+	return &exp1Payload{
+		Durations: opDurations(sim.Log, ops),
+		Mem:       sim.MemTrace,
+		Snaps:     sim.Snaps,
+	}, nil
 }
 
 // opDurations extracts op durations in the given order (one op per label).

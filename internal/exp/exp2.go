@@ -6,6 +6,7 @@ import (
 	"repro/internal/storage"
 
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -43,54 +44,119 @@ func ConcurrencyLevels(max, stride int) []int {
 	return out
 }
 
-// RunExp2 executes the local concurrent-applications experiment (Fig 5):
-// N instances, each a 3-task synthetic app on its own 3 GB files, all
-// sharing one node and one local disk. reps sets the real-proxy repetition
-// count (the paper uses 5).
-func RunExp2(levels []int, reps int) (*ConcurrentResult, error) {
-	return runConcurrent(levels, reps, false, 3*units.GB)
+// concurrentArgs parameterizes one Fig 5/7 cell: one simulation of n
+// instances on one stack (one repetition for the jittered real proxy).
+type concurrentArgs struct {
+	N      int     `json:"n"`
+	Size   int64   `json:"size"`
+	Remote bool    `json:"remote"`
+	Stack  Stack   `json:"stack"`
+	Rep    int     `json:"rep"`
+	Jitter float64 `json:"jitter"`
 }
 
-// RunExp3 executes the NFS variant (Fig 7): same workload, all I/O on a
-// remote partition with a writethrough server cache.
-func RunExp3(levels []int, reps int) (*ConcurrentResult, error) {
-	return runConcurrent(levels, reps, true, 3*units.GB)
+// concurrentPayload is one cell's pair of Fig 5/7 observables.
+type concurrentPayload struct {
+	ReadT  float64 `json:"read_t"`
+	WriteT float64 `json:"write_t"`
 }
 
-func runConcurrent(levels []int, reps int, remote bool, size int64) (*ConcurrentResult, error) {
+func init() {
+	grid.RegisterCell("concurrent", func(a concurrentArgs) (any, error) {
+		var mode *engine.Mode
+		switch a.Stack {
+		case StackCacheless:
+			mode = ptrMode(engine.ModeCacheless)
+		case StackCache:
+			mode = ptrMode(engine.ModeWriteback)
+		case StackReal:
+		default:
+			return nil, fmt.Errorf("concurrent: unknown stack %q", a.Stack)
+		}
+		rt, wt, _, err := concurrentRun(a.N, a.Size, a.Remote, mode, a.Jitter, a.Rep)
+		if err != nil {
+			return nil, err
+		}
+		return &concurrentPayload{ReadT: rt, WriteT: wt}, nil
+	})
+}
+
+// concurrentStacks orders a level's cells: Coord.J indexes it, with the
+// real proxy's repetitions distinguished by Coord.K.
+var concurrentStacks = []Stack{StackCacheless, StackCache, StackReal}
+
+// ConcurrentCells enumerates a Fig 5/7 sweep: per level, one deterministic
+// cell per simulator stack plus reps jittered real-proxy repetitions.
+// Coordinates are (level index, stack index, repetition).
+func ConcurrentCells(section string, remote bool, size int64, levels []int, reps int) []grid.Spec {
+	var specs []grid.Spec
+	cost := func(n int) float64 {
+		c := costGB(size, n)
+		if remote {
+			// The NFS topology simulates the bytes twice (client + server).
+			c *= 2
+		}
+		return c
+	}
+	for li, n := range levels {
+		for ji, st := range concurrentStacks {
+			if st == StackReal {
+				for rep := 0; rep < reps; rep++ {
+					specs = append(specs, grid.NewSpec("concurrent",
+						grid.Coord{Section: section, I: li, J: ji, K: rep},
+						fmt.Sprintf("%s n=%d real rep=%d", section, n, rep),
+						cost(n),
+						concurrentArgs{N: n, Size: size, Remote: remote, Stack: st, Rep: rep, Jitter: 0.03}))
+				}
+				continue
+			}
+			specs = append(specs, grid.NewSpec("concurrent",
+				grid.Coord{Section: section, I: li, J: ji},
+				fmt.Sprintf("%s n=%d %s", section, n, st),
+				cost(n),
+				concurrentArgs{N: n, Size: size, Remote: remote, Stack: st}))
+		}
+	}
+	return specs
+}
+
+// MergeConcurrent reassembles a sweep's payloads into the Fig 5/7 series,
+// accumulating the real proxy's repetitions in repetition order (float
+// addition order is part of the byte-identical contract).
+func MergeConcurrent(remote bool, levels []int, reps int, ps []grid.Payload) (*ConcurrentResult, error) {
+	if err := wantCells(ps, len(levels)*(2+reps)); err != nil {
+		return nil, fmt.Errorf("concurrent: %w", err)
+	}
+	pays, err := decodeAll[concurrentPayload](ps)
+	if err != nil {
+		return nil, err
+	}
+	byCoord := make(map[grid.Coord]concurrentPayload, len(ps))
+	for i, p := range ps {
+		c := p.Coord
+		c.Section = "" // sections never mix sweeps; key on the axes alone
+		byCoord[c] = pays[i]
+	}
 	res := &ConcurrentResult{Remote: remote}
-	for _, n := range levels {
+	for li, n := range levels {
 		pt := ConcurrentPoint{
 			N:         n,
 			ReadTime:  map[Stack]float64{},
 			WriteTime: map[Stack]float64{},
 		}
-		// Simulators: one deterministic run each.
-		for _, st := range []Stack{StackCacheless, StackCache} {
-			mode := engine.ModeWriteback
-			if st == StackCacheless {
-				mode = engine.ModeCacheless
-			}
-			rt, wt, _, err := concurrentRun(n, size, remote, &mode, 0, 0)
-			if err != nil {
-				return nil, fmt.Errorf("exp concurrent %s n=%d: %w", st, n, err)
-			}
-			pt.ReadTime[st] = rt
-			pt.WriteTime[st] = wt
-		}
-		// Real proxy: reps jittered repetitions → mean and min–max.
+		pt.ReadTime[StackCacheless] = byCoord[grid.Coord{I: li, J: 0}].ReadT
+		pt.WriteTime[StackCacheless] = byCoord[grid.Coord{I: li, J: 0}].WriteT
+		pt.ReadTime[StackCache] = byCoord[grid.Coord{I: li, J: 1}].ReadT
+		pt.WriteTime[StackCache] = byCoord[grid.Coord{I: li, J: 1}].WriteT
 		var rsum, wsum float64
 		rmin, rmax := 1e300, -1e300
 		wmin, wmax := 1e300, -1e300
 		for rep := 0; rep < reps; rep++ {
-			rt, wt, _, err := concurrentRun(n, size, remote, nil, 0.03, rep)
-			if err != nil {
-				return nil, fmt.Errorf("exp concurrent real n=%d rep=%d: %w", n, rep, err)
-			}
-			rsum += rt
-			wsum += wt
-			rmin, rmax = minF(rmin, rt), maxF(rmax, rt)
-			wmin, wmax = minF(wmin, wt), maxF(wmax, wt)
+			p := byCoord[grid.Coord{I: li, J: 2, K: rep}]
+			rsum += p.ReadT
+			wsum += p.WriteT
+			rmin, rmax = minF(rmin, p.ReadT), maxF(rmax, p.ReadT)
+			wmin, wmax = minF(wmin, p.WriteT), maxF(wmax, p.WriteT)
 		}
 		pt.ReadTime[StackReal] = rsum / float64(reps)
 		pt.WriteTime[StackReal] = wsum / float64(reps)
@@ -99,6 +165,28 @@ func runConcurrent(levels []int, reps int, remote bool, size int64) (*Concurrent
 		res.Points = append(res.Points, pt)
 	}
 	return res, nil
+}
+
+// RunExp2 executes the local concurrent-applications experiment (Fig 5):
+// N instances, each a 3-task synthetic app on its own 3 GB files, all
+// sharing one node and one local disk. reps sets the real-proxy repetition
+// count (the paper uses 5). Cells fan out over the default in-process pool.
+func RunExp2(levels []int, reps int) (*ConcurrentResult, error) {
+	return runConcurrent("exp2", levels, reps, false)
+}
+
+// RunExp3 executes the NFS variant (Fig 7): same workload, all I/O on a
+// remote partition with a writethrough server cache.
+func RunExp3(levels []int, reps int) (*ConcurrentResult, error) {
+	return runConcurrent("exp3", levels, reps, true)
+}
+
+func runConcurrent(section string, levels []int, reps int, remote bool) (*ConcurrentResult, error) {
+	ps, err := runGrid(ConcurrentCells(section, remote, 3*units.GB, levels, reps))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", section, err)
+	}
+	return MergeConcurrent(remote, levels, reps, ps)
 }
 
 // concurrentRun executes one simulation with n synthetic instances and

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/units"
 )
@@ -28,52 +29,125 @@ type SimTimeResult struct {
 	Timings bool
 }
 
-// RunSimTime measures wall-clock simulation time for the Fig 8
-// configurations: baseline and page-cache model, local and NFS.
-func RunSimTime(levels []int) (*SimTimeResult, error) {
-	cfgs := []struct {
-		label  string
-		mode   engine.Mode
-		remote bool
-	}{
-		{"WRENCH (local)", engine.ModeCacheless, false},
-		{"WRENCH (NFS)", engine.ModeCacheless, true},
-		{"WRENCH-cache (local)", engine.ModeWriteback, false},
-		{"WRENCH-cache (NFS)", engine.ModeWriteback, true},
-	}
-	res := &SimTimeResult{}
-	for _, cfg := range cfgs {
-		s, err := runSimTimeSeries(cfg.label, cfg.mode, cfg.remote, levels)
+// fig8Configs are the four measured configurations; Coord.I indexes them.
+var fig8Configs = []struct {
+	label  string
+	mode   engine.Mode
+	remote bool
+}{
+	{"WRENCH (local)", engine.ModeCacheless, false},
+	{"WRENCH (NFS)", engine.ModeCacheless, true},
+	{"WRENCH-cache (local)", engine.ModeWriteback, false},
+	{"WRENCH-cache (NFS)", engine.ModeWriteback, true},
+}
+
+// fig8Args parameterizes one timing cell: one (configuration, n) run.
+type fig8Args struct {
+	Mode   engine.Mode `json:"mode"`
+	Remote bool        `json:"remote"`
+	N      int         `json:"n"`
+}
+
+// fig8Payload is the measured wall-clock of one cell. When the cell runs on
+// a busy multi-worker pool the measurement includes scheduling contention;
+// run `-fig8 -timings -workers 1` for clean fits.
+type fig8Payload struct {
+	Seconds float64 `json:"seconds"`
+}
+
+func init() {
+	grid.RegisterCell("fig8", func(a fig8Args) (any, error) {
+		s, err := simTimeCell(a.Mode, a.Remote, a.N)
 		if err != nil {
 			return nil, err
 		}
+		return &fig8Payload{Seconds: s}, nil
+	})
+}
+
+// Fig8Cells enumerates the Fig 8 sweep: one timing cell per
+// (configuration, level). Coordinates are (config index, level index).
+func Fig8Cells(section string, levels []int) []grid.Spec {
+	var specs []grid.Spec
+	for ci, cfg := range fig8Configs {
+		for li, n := range levels {
+			cost := costGB(3*units.GB, n)
+			if cfg.remote {
+				cost *= 2
+			}
+			specs = append(specs, grid.NewSpec("fig8",
+				grid.Coord{Section: section, I: ci, J: li},
+				fmt.Sprintf("fig8 %s n=%d", cfg.label, n),
+				cost, fig8Args{Mode: cfg.mode, Remote: cfg.remote, N: n}))
+		}
+	}
+	return specs
+}
+
+// MergeFig8 assembles the timing cells into the four fitted series.
+func MergeFig8(levels []int, timings bool, ps []grid.Payload) (*SimTimeResult, error) {
+	if err := wantCells(ps, len(fig8Configs)*len(levels)); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	pays, err := decodeAll[fig8Payload](ps)
+	if err != nil {
+		return nil, err
+	}
+	res := &SimTimeResult{Timings: timings}
+	for ci, cfg := range fig8Configs {
+		s := SimTimeSeries{Label: cfg.label}
+		for li, n := range levels {
+			s.N = append(s.N, n)
+			s.Seconds = append(s.Seconds, pays[ci*len(levels)+li].Seconds)
+		}
+		s.Fit = fitSeries(s)
 		res.Series = append(res.Series, s)
 	}
 	return res, nil
 }
 
+// RunSimTime measures wall-clock simulation time for the Fig 8
+// configurations: baseline and page-cache model, local and NFS. It runs its
+// cells on a one-worker pool — this experiment measures time, and
+// co-scheduled cells would contend.
+func RunSimTime(levels []int) (*SimTimeResult, error) {
+	ps, err := runGridOpts(Fig8Cells("fig8", levels), grid.Options{Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	return MergeFig8(levels, false, ps)
+}
+
 // RunSimTimeConfig measures one Fig 8 configuration (used by the root
 // benchmarks, where the Go benchmark harness provides the repetitions).
 func RunSimTimeConfig(mode engine.Mode, remote bool, levels []int) (SimTimeSeries, error) {
-	label := fmt.Sprintf("%v remote=%v", mode, remote)
-	return runSimTimeSeries(label, mode, remote, levels)
-}
-
-func runSimTimeSeries(label string, mode engine.Mode, remote bool, levels []int) (SimTimeSeries, error) {
-	s := SimTimeSeries{Label: label}
+	s := SimTimeSeries{Label: fmt.Sprintf("%v remote=%v", mode, remote)}
 	for _, n := range levels {
-		m := mode
-		start := time.Now()
-		if _, _, _, err := concurrentRun(n, 3*units.GB, remote, &m, 0, 0); err != nil {
-			return s, fmt.Errorf("fig8 %s n=%d: %w", label, n, err)
+		sec, err := simTimeCell(mode, remote, n)
+		if err != nil {
+			return s, fmt.Errorf("fig8 %s n=%d: %w", s.Label, n, err)
 		}
 		s.N = append(s.N, n)
-		s.Seconds = append(s.Seconds, time.Since(start).Seconds())
+		s.Seconds = append(s.Seconds, sec)
 	}
+	s.Fit = fitSeries(s)
+	return s, nil
+}
+
+// simTimeCell times one concurrent run.
+func simTimeCell(mode engine.Mode, remote bool, n int) (float64, error) {
+	m := mode
+	start := time.Now()
+	if _, _, _, err := concurrentRun(n, 3*units.GB, remote, &m, 0, 0); err != nil {
+		return 0, fmt.Errorf("fig8 mode=%v remote=%v n=%d: %w", mode, remote, n, err)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+func fitSeries(s SimTimeSeries) metrics.LinReg {
 	xs := make([]float64, len(s.N))
 	for i, n := range s.N {
 		xs[i] = float64(n)
 	}
-	s.Fit = metrics.Fit(xs, s.Seconds)
-	return s, nil
+	return metrics.Fit(xs, s.Seconds)
 }

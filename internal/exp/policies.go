@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/platform"
 	"repro/internal/textplot"
 	"repro/internal/units"
@@ -35,13 +36,14 @@ type PolicyResult struct {
 type policyWorkload struct {
 	name string
 	ram  int64
+	cost float64 // relative cell cost for the grid scheduler
 	run  func(rig *LocalRig) error
 }
 
 // syntheticPolicyWorkload places `instances` copies of the paper's synthetic
 // pipeline (Table I) at the given per-file size.
 func syntheticPolicyWorkload(name string, size int64, instances int) policyWorkload {
-	return policyWorkload{name: name, run: func(rig *LocalRig) error {
+	return policyWorkload{name: name, cost: costGB(size, instances), run: func(rig *LocalRig) error {
 		cpu := workload.SyntheticCPU(size)
 		for i := 0; i < instances; i++ {
 			if err := createInput(rig.Sim, rig.Part, workload.SyntheticFiles(i)[0], size); err != nil {
@@ -62,7 +64,7 @@ func syntheticPolicyWorkload(name string, size int64, instances int) policyWorkl
 
 // nighresPolicyWorkload places the four-step Nighres workflow (Table II).
 func nighresPolicyWorkload() policyWorkload {
-	return policyWorkload{name: "nighres", run: func(rig *LocalRig) error {
+	return policyWorkload{name: "nighres", cost: costGB(workload.NighresInputSize, 4), run: func(rig *LocalRig) error {
 		if err := createInput(rig.Sim, rig.Part, workload.NighresInput, workload.NighresInputSize); err != nil {
 			return err
 		}
@@ -71,6 +73,36 @@ func nighresPolicyWorkload() policyWorkload {
 		})
 		return rig.Sim.Run()
 	}}
+}
+
+// policyWorkloads lists the ablation's workloads; quick thins the grid to
+// the 20 GB synthetic (paper node + pressured node) and Nighres runs.
+func policyWorkloads(quick bool) []policyWorkload {
+	pressured := syntheticPolicyWorkload("synthetic-20gb-32gbram", 20*units.GB, 1)
+	pressured.ram = 32 * units.GiB
+	workloads := []policyWorkload{
+		syntheticPolicyWorkload("synthetic-20gb", 20*units.GB, 1),
+		pressured,
+		nighresPolicyWorkload(),
+	}
+	if !quick {
+		workloads = append(workloads,
+			syntheticPolicyWorkload("synthetic-100gb", 100*units.GB, 1),
+			syntheticPolicyWorkload("concurrent-8x3gb", 3*units.GB, 8),
+		)
+	}
+	return workloads
+}
+
+// policyWorkloadByName resolves a cell's workload (cells reference
+// workloads by name so specs stay self-describing across processes).
+func policyWorkloadByName(name string) (policyWorkload, error) {
+	for _, w := range policyWorkloads(false) {
+		if w.name == name {
+			return w, nil
+		}
+	}
+	return policyWorkload{}, fmt.Errorf("unknown policy workload %q", name)
 }
 
 // newPolicyRig builds the paper's single-node simulator platform in
@@ -105,51 +137,97 @@ func newPolicyRig(policy string, ram int64) (*LocalRig, *core.Manager, error) {
 	return &LocalRig{Sim: sim, Host: hr, Part: part}, mgr, nil
 }
 
+// policyArgs parameterizes one (workload, policy) cell.
+type policyArgs struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+}
+
+// policyPayload is one cell's observables.
+type policyPayload struct {
+	Makespan float64 `json:"makespan"`
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+func init() {
+	grid.RegisterCell("policy", func(a policyArgs) (any, error) { return runPolicyCell(a) })
+}
+
+func runPolicyCell(a policyArgs) (*policyPayload, error) {
+	w, err := policyWorkloadByName(a.Workload)
+	if err != nil {
+		return nil, err
+	}
+	rig, mgr, err := newPolicyRig(a.Policy, w.ram)
+	if err != nil {
+		return nil, fmt.Errorf("policy ablation %s/%s: %w", a.Workload, a.Policy, err)
+	}
+	if err := w.run(rig); err != nil {
+		return nil, fmt.Errorf("policy ablation %s/%s: %w", a.Workload, a.Policy, err)
+	}
+	hit, miss := mgr.ReadHitBytes(), mgr.ReadMissBytes()
+	ratio := 0.0
+	if hit+miss > 0 {
+		ratio = float64(hit) / float64(hit+miss)
+	}
+	return &policyPayload{Makespan: rig.Sim.Makespan(), HitRatio: ratio}, nil
+}
+
+// PolicyCells enumerates the ablation grid: coordinates are
+// (workload index, policy index).
+func PolicyCells(section string, quick bool) []grid.Spec {
+	var specs []grid.Spec
+	for wi, w := range policyWorkloads(quick) {
+		for pi, policy := range core.PolicyNames() {
+			specs = append(specs, grid.NewSpec("policy",
+				grid.Coord{Section: section, I: wi, J: pi},
+				fmt.Sprintf("policy %s/%s", w.name, policy),
+				w.cost, policyArgs{Workload: w.name, Policy: policy}))
+		}
+	}
+	return specs
+}
+
+// MergePolicy assembles the grid's rows in (workload, policy) order.
+func MergePolicy(quick bool, ps []grid.Payload) (*PolicyResult, error) {
+	workloads := policyWorkloads(quick)
+	policies := core.PolicyNames()
+	if err := wantCells(ps, len(workloads)*len(policies)); err != nil {
+		return nil, fmt.Errorf("policy ablation: %w", err)
+	}
+	pays, err := decodeAll[policyPayload](ps)
+	if err != nil {
+		return nil, err
+	}
+	res := &PolicyResult{Policies: policies}
+	for wi, w := range workloads {
+		res.Workloads = append(res.Workloads, w.name)
+		for pi, policy := range policies {
+			pay := pays[wi*len(policies)+pi]
+			res.Rows = append(res.Rows, PolicyRow{
+				Workload: w.name,
+				Policy:   policy,
+				Makespan: pay.Makespan,
+				HitRatio: pay.HitRatio,
+			})
+		}
+	}
+	return res, nil
+}
+
 // RunPolicyAblation runs every registered page-cache policy across the
 // paper's workloads — the single-threaded synthetic pipeline (Exp 1, on the
 // paper node and on a memory-pressured 32 GiB node where the 4×20 GB
 // working set forces evictions), the Exp 2 concurrency profile, and the
 // Nighres workflow (Exp 4) — and reports per-cell makespan and read-hit
 // ratio. quick thins the grid to the 20 GB synthetic and Nighres runs.
+// Cells fan out over the default in-process pool.
 func RunPolicyAblation(quick bool) (*PolicyResult, error) {
-	pressured := syntheticPolicyWorkload("synthetic-20gb-32gbram", 20*units.GB, 1)
-	pressured.ram = 32 * units.GiB
-	workloads := []policyWorkload{
-		syntheticPolicyWorkload("synthetic-20gb", 20*units.GB, 1),
-		pressured,
-		nighresPolicyWorkload(),
+	ps, err := runGrid(PolicyCells("policies", quick))
+	if err != nil {
+		return nil, fmt.Errorf("policy ablation: %w", err)
 	}
-	if !quick {
-		workloads = append(workloads,
-			syntheticPolicyWorkload("synthetic-100gb", 100*units.GB, 1),
-			syntheticPolicyWorkload("concurrent-8x3gb", 3*units.GB, 8),
-		)
-	}
-	res := &PolicyResult{Policies: core.PolicyNames()}
-	for _, w := range workloads {
-		res.Workloads = append(res.Workloads, w.name)
-		for _, policy := range res.Policies {
-			rig, mgr, err := newPolicyRig(policy, w.ram)
-			if err != nil {
-				return nil, fmt.Errorf("policy ablation %s/%s: %w", w.name, policy, err)
-			}
-			if err := w.run(rig); err != nil {
-				return nil, fmt.Errorf("policy ablation %s/%s: %w", w.name, policy, err)
-			}
-			hit, miss := mgr.ReadHitBytes(), mgr.ReadMissBytes()
-			ratio := 0.0
-			if hit+miss > 0 {
-				ratio = float64(hit) / float64(hit+miss)
-			}
-			res.Rows = append(res.Rows, PolicyRow{
-				Workload: w.name,
-				Policy:   policy,
-				Makespan: rig.Sim.Makespan(),
-				HitRatio: ratio,
-			})
-		}
-	}
-	return res, nil
+	return MergePolicy(quick, ps)
 }
 
 // Render prints the ablation as one table per workload, best makespan first

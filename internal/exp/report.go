@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/grid"
 	"repro/internal/textplot"
 	"repro/internal/units"
 )
@@ -237,3 +238,99 @@ func SaveCSV(dir, name string, fn func(io.Writer) error) error {
 	defer f.Close()
 	return fn(f)
 }
+
+// Emitter streams a grid run's report in section order. Results arrive in
+// completion order; each section renders as soon as its cells have all
+// completed AND every earlier section has been emitted, so stdout and the
+// CSV files are byte-identical to a sequential run while a large grid never
+// buffers more than the in-flight sections' payloads (each section's
+// payloads are released as it is emitted).
+//
+// A failed cell fails its section — the section is skipped and recorded in
+// Failures() — but never the rest of the run.
+type Emitter struct {
+	w        io.Writer
+	outDir   string // "" disables CSV output
+	sections []Section
+
+	index    map[string]int // section key -> position
+	pending  []int          // cells not yet delivered, per section
+	payloads [][]grid.Payload
+	failed   []bool
+	next     int // first section not yet emitted
+	failures []string
+}
+
+// NewEmitter prepares streaming emission for the given sections, in order.
+// Every spec's Coord.Section must match its section's Key.
+func NewEmitter(w io.Writer, outDir string, sections []Section) *Emitter {
+	e := &Emitter{
+		w: w, outDir: outDir, sections: sections,
+		index:    make(map[string]int, len(sections)),
+		pending:  make([]int, len(sections)),
+		payloads: make([][]grid.Payload, len(sections)),
+		failed:   make([]bool, len(sections)),
+	}
+	for i, s := range sections {
+		if _, dup := e.index[s.Key]; dup {
+			panic(fmt.Sprintf("exp: duplicate section key %q", s.Key))
+		}
+		e.index[s.Key] = i
+		e.pending[i] = len(s.Specs)
+	}
+	return e
+}
+
+// Deliver accepts one cell result. It is called serially (grid.Run's
+// deliver callback is never concurrent). Sections whose turn has come are
+// flushed before it returns.
+func (e *Emitter) Deliver(r grid.Result) {
+	si, ok := e.index[r.Coord.Section]
+	if !ok {
+		e.failures = append(e.failures, fmt.Sprintf("%s: result for unknown section", r.Coord))
+		return
+	}
+	e.pending[si]--
+	if r.Err != "" {
+		if !e.failed[si] {
+			e.failed[si] = true
+			e.payloads[si] = nil // free what accumulated; the section won't render
+		}
+		e.failures = append(e.failures, fmt.Sprintf("%s (%s, %d attempts): %s", r.Coord, r.Kind, r.Attempts, r.Err))
+	} else if !e.failed[si] {
+		e.payloads[si] = append(e.payloads[si], grid.Payload{Coord: r.Coord, Raw: r.Payload})
+	}
+	e.flush()
+}
+
+// flush emits every leading section whose cells have all completed.
+func (e *Emitter) flush() {
+	for e.next < len(e.sections) && e.pending[e.next] == 0 {
+		si := e.next
+		e.next++
+		if e.failed[si] {
+			continue
+		}
+		ps := e.payloads[si]
+		e.payloads[si] = nil
+		grid.SortPayloads(ps)
+		out, err := e.sections[si].Merge(ps)
+		if err != nil {
+			e.failures = append(e.failures, fmt.Sprintf("section %s: %v", e.sections[si].Key, err))
+			continue
+		}
+		out.Render(e.w)
+		if e.outDir == "" {
+			continue
+		}
+		for _, c := range out.CSVs {
+			if err := SaveCSV(e.outDir, c.Name, c.Write); err != nil {
+				e.failures = append(e.failures, fmt.Sprintf("section %s: save %s: %v", e.sections[si].Key, c.Name, err))
+			}
+		}
+	}
+}
+
+// Failures lists everything that went wrong, in delivery order. Empty means
+// every section rendered and saved.
+func (e *Emitter) Failures() []string { return e.failures }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/platform"
 	"repro/internal/textplot"
 	"repro/internal/trace"
@@ -46,12 +47,13 @@ type WritebackResult struct {
 // wbMetrics reads the ablation observables off a manager.
 type wbMetrics struct{ mgr *core.Manager }
 
-func (w wbMetrics) row(workload, wb string, bg, makespan float64) WritebackRow {
-	ratio := trace.HitPoint{HitBytes: w.mgr.ReadHitBytes(), MissBytes: w.mgr.ReadMissBytes()}.Ratio()
-	return WritebackRow{
-		Workload: workload, Writeback: wb, BGRatio: bg, Makespan: makespan,
-		Flushed: w.mgr.FlushedBytes(), Throttled: w.mgr.WriteThrottledSeconds(),
-		HitRatio: ratio,
+func (w wbMetrics) payload(makespan float64) writebackPayload {
+	return writebackPayload{
+		Makespan:  makespan,
+		Flushed:   w.mgr.FlushedBytes(),
+		Throttled: w.mgr.WriteThrottledSeconds(),
+		HitBytes:  w.mgr.ReadHitBytes(),
+		MissBytes: w.mgr.ReadMissBytes(),
 	}
 }
 
@@ -178,11 +180,160 @@ func runWritebackNFS(writeback string, bg float64, srvRAM int64, sizes []int64) 
 // wbWorkload is one placeable cell family of the writeback ablation.
 type wbWorkload struct {
 	name string
-	ram  int64 // 0: the paper's 250 GiB
+	ram  int64   // 0: the paper's 250 GiB
+	cost float64 // relative cell cost for the grid scheduler
 	// run executes the workload on a prepared rig (nil for the NFS cell,
 	// which builds its own client/server pair).
 	run func(rig *LocalRig) error
 	nfs bool
+}
+
+// wbBGRatios are the studied background-writeback settings: disabled (the
+// paper's single-threshold model) and the Linux default 0.10. Coord.K
+// indexes it.
+var wbBGRatios = []float64{0, 0.10}
+
+// wbWorkloads lists the ablation's workloads; quick thins the grid to the
+// write burst and the NFS cell.
+func wbWorkloads(quick bool) []wbWorkload {
+	burstSizes := []int64{12 * units.GB, 6 * units.GB, 3 * units.GB, 3 * units.GB}
+	burst := wbWorkload{name: "writeburst-skewed24gb-32gbram", ram: 32 * units.GiB,
+		cost: costGB(24*units.GB, 1),
+		run: func(rig *LocalRig) error {
+			return runWriteBurst(rig, burstSizes)
+		}}
+	pipeline := wbWorkload{name: "synthetic-20gb-32gbram", ram: 32 * units.GiB,
+		cost: costGB(20*units.GB, 1),
+		run: func(rig *LocalRig) error {
+			w := syntheticPolicyWorkload("", 20*units.GB, 1)
+			return w.run(rig)
+		}}
+	nfsCell := wbWorkload{name: "nfs-writeburst-skewed12gb-8gbram", nfs: true,
+		cost: costGB(12*units.GB, 1) * 2}
+	if quick {
+		return []wbWorkload{burst, nfsCell}
+	}
+	return []wbWorkload{burst, pipeline, nfsCell}
+}
+
+// wbWorkloadByName resolves a cell's workload (cells reference workloads by
+// name so specs stay self-describing across processes).
+func wbWorkloadByName(name string) (wbWorkload, error) {
+	for _, w := range wbWorkloads(false) {
+		if w.name == name {
+			return w, nil
+		}
+	}
+	return wbWorkload{}, fmt.Errorf("unknown writeback workload %q", name)
+}
+
+// writebackArgs parameterizes one (workload, policy, bg ratio) cell.
+type writebackArgs struct {
+	Workload  string  `json:"workload"`
+	Writeback string  `json:"writeback"`
+	BG        float64 `json:"bg"`
+}
+
+// writebackPayload is one cell's observables. Points is the hit-ratio
+// evolution — recorded by local cells only (the NFS cell's counters live
+// server-side where no trace hook is wired).
+type writebackPayload struct {
+	Makespan  float64          `json:"makespan"`
+	Flushed   int64            `json:"flushed"`
+	Throttled float64          `json:"throttled"`
+	HitBytes  int64            `json:"hit_bytes"`
+	MissBytes int64            `json:"miss_bytes"`
+	Points    []trace.HitPoint `json:"points,omitempty"`
+}
+
+func (p writebackPayload) row(workload, wb string, bg float64) WritebackRow {
+	return WritebackRow{
+		Workload: workload, Writeback: wb, BGRatio: bg, Makespan: p.Makespan,
+		Flushed: p.Flushed, Throttled: p.Throttled,
+		HitRatio: trace.HitPoint{HitBytes: p.HitBytes, MissBytes: p.MissBytes}.Ratio(),
+	}
+}
+
+func init() {
+	grid.RegisterCell("writeback", func(a writebackArgs) (any, error) { return runWritebackCell(a) })
+}
+
+func runWritebackCell(a writebackArgs) (*writebackPayload, error) {
+	w, err := wbWorkloadByName(a.Workload)
+	if err != nil {
+		return nil, err
+	}
+	if w.nfs {
+		mgr, makespan, err := runWritebackNFS(a.Writeback, a.BG, 8*units.GiB,
+			[]int64{6 * units.GB, 3 * units.GB, 1500 * units.MB, 1500 * units.MB})
+		if err != nil {
+			return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", a.Workload, a.Writeback, a.BG, err)
+		}
+		pay := wbMetrics{mgr}.payload(makespan)
+		return &pay, nil
+	}
+	rig, mgr, err := newWritebackRig(a.Writeback, a.BG, w.ram)
+	if err != nil {
+		return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", a.Workload, a.Writeback, a.BG, err)
+	}
+	rig.Host.EnableHitTrace(20)
+	if err := w.run(rig); err != nil {
+		return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", a.Workload, a.Writeback, a.BG, err)
+	}
+	pay := wbMetrics{mgr}.payload(rig.Sim.Makespan())
+	pay.Points = rig.Host.HitTrace.Points
+	return &pay, nil
+}
+
+// WritebackCells enumerates the ablation grid: coordinates are
+// (workload index, writeback-policy index, background-ratio index).
+func WritebackCells(section string, quick bool) []grid.Spec {
+	var specs []grid.Spec
+	for wi, w := range wbWorkloads(quick) {
+		for pi, wb := range core.WritebackPolicyNames() {
+			for bi, bg := range wbBGRatios {
+				specs = append(specs, grid.NewSpec("writeback",
+					grid.Coord{Section: section, I: wi, J: pi, K: bi},
+					fmt.Sprintf("writeback %s/%s/bg=%g", w.name, wb, bg),
+					w.cost, writebackArgs{Workload: w.name, Writeback: wb, BG: bg}))
+			}
+		}
+	}
+	return specs
+}
+
+// MergeWriteback assembles the grid's rows — and, for local cells, the
+// hit-ratio series — in (workload, policy, bg ratio) order.
+func MergeWriteback(quick bool, ps []grid.Payload) (*WritebackResult, error) {
+	workloads := wbWorkloads(quick)
+	policies := core.WritebackPolicyNames()
+	if err := wantCells(ps, len(workloads)*len(policies)*len(wbBGRatios)); err != nil {
+		return nil, fmt.Errorf("writeback ablation: %w", err)
+	}
+	pays, err := decodeAll[writebackPayload](ps)
+	if err != nil {
+		return nil, err
+	}
+	res := &WritebackResult{Policies: policies}
+	i := 0
+	for _, w := range workloads {
+		res.Workloads = append(res.Workloads, w.name)
+		for _, wb := range policies {
+			for _, bg := range wbBGRatios {
+				pay := pays[i]
+				i++
+				res.Rows = append(res.Rows, pay.row(w.name, wb, bg))
+				if w.nfs {
+					continue
+				}
+				res.Series = append(res.Series, WritebackSeries{
+					Workload: w.name, Writeback: wb, BGRatio: bg,
+					Points: pay.Points,
+				})
+			}
+		}
+	}
+	return res, nil
 }
 
 // RunWritebackAblation runs every registered writeback policy — with
@@ -193,55 +344,13 @@ type wbWorkload struct {
 // writeback server. Each cell reports makespan, flushed bytes, writer
 // throttle time and read-hit ratio; local cells additionally record the
 // hit-ratio evolution as a time series. quick thins the grid to the write
-// burst and the NFS cell.
+// burst and the NFS cell. Cells fan out over the default in-process pool.
 func RunWritebackAblation(quick bool) (*WritebackResult, error) {
-	burst := wbWorkload{name: "writeburst-skewed24gb-32gbram", ram: 32 * units.GiB,
-		run: func(rig *LocalRig) error {
-			return runWriteBurst(rig, []int64{12 * units.GB, 6 * units.GB, 3 * units.GB, 3 * units.GB})
-		}}
-	pipeline := wbWorkload{name: "synthetic-20gb-32gbram", ram: 32 * units.GiB,
-		run: func(rig *LocalRig) error {
-			w := syntheticPolicyWorkload("", 20*units.GB, 1)
-			return w.run(rig)
-		}}
-	nfsCell := wbWorkload{name: "nfs-writeburst-skewed12gb-8gbram", nfs: true}
-	workloads := []wbWorkload{burst, pipeline, nfsCell}
-	if quick {
-		workloads = []wbWorkload{burst, nfsCell}
+	ps, err := runGrid(WritebackCells("writebacks", quick))
+	if err != nil {
+		return nil, fmt.Errorf("writeback ablation: %w", err)
 	}
-	bgRatios := []float64{0, 0.10}
-
-	res := &WritebackResult{Policies: core.WritebackPolicyNames()}
-	for _, w := range workloads {
-		res.Workloads = append(res.Workloads, w.name)
-		for _, wb := range res.Policies {
-			for _, bg := range bgRatios {
-				if w.nfs {
-					mgr, makespan, err := runWritebackNFS(wb, bg, 8*units.GiB,
-						[]int64{6 * units.GB, 3 * units.GB, 1500 * units.MB, 1500 * units.MB})
-					if err != nil {
-						return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
-					}
-					res.Rows = append(res.Rows, wbMetrics{mgr}.row(w.name, wb, bg, makespan))
-					continue
-				}
-				rig, mgr, err := newWritebackRig(wb, bg, w.ram)
-				if err != nil {
-					return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
-				}
-				rig.Host.EnableHitTrace(20)
-				if err := w.run(rig); err != nil {
-					return nil, fmt.Errorf("writeback ablation %s/%s/bg=%g: %w", w.name, wb, bg, err)
-				}
-				res.Rows = append(res.Rows, wbMetrics{mgr}.row(w.name, wb, bg, rig.Sim.Makespan()))
-				res.Series = append(res.Series, WritebackSeries{
-					Workload: w.name, Writeback: wb, BGRatio: bg,
-					Points: rig.Host.HitTrace.Points,
-				})
-			}
-		}
-	}
-	return res, nil
+	return MergeWriteback(quick, ps)
 }
 
 // Render prints the ablation as one table per workload.

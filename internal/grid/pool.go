@@ -1,0 +1,261 @@
+package grid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Options configures a pool run.
+type Options struct {
+	// Workers is the pool size; ≤0 selects GOMAXPROCS. It is clamped to the
+	// cell count (idle workers would only cost startup).
+	Workers int
+	// Timeout bounds one cell attempt; 0 disables. An in-process attempt
+	// that times out is abandoned (its goroutine left to finish, result
+	// discarded — a stuck simulation cannot be killed, only orphaned); a
+	// subprocess attempt's worker is killed and restarted.
+	Timeout time.Duration
+	// Retries is the number of extra attempts after a failed one (error,
+	// panic, timeout, or dead worker). 0 means one attempt.
+	Retries int
+	// WorkerCmd, when set, execs this argv once per worker slot and feeds it
+	// cells over the stdin/stdout JSON protocol (see ServeWorker) instead of
+	// running them in-process. "ssh host experiments -worker" fans the same
+	// queue out across hosts.
+	WorkerCmd []string
+	// WorkerEnv appends to the subprocess environment (tests use it to put
+	// the test binary into worker mode).
+	WorkerEnv []string
+	// Progress, if set, is called serially (from Run's goroutine) after each
+	// cell completes.
+	Progress func(done, total int, r Result)
+}
+
+// Run executes the specs over the pool and calls deliver serially (from the
+// calling goroutine) with each cell's Result as it completes, in completion
+// order. Cell failures are reported in their Result, never as a run error —
+// one bad cell fails that cell, not the run. The returned stats cover the
+// whole run: per-worker busy time, wall clock, failure and retry counts.
+func Run(specs []Spec, opts Options, deliver func(Result)) (metrics.GridStats, error) {
+	n := clampWorkers(opts.Workers, len(specs))
+	stats := metrics.GridStats{Cells: len(specs), BusySeconds: make([]float64, n)}
+	if len(specs) == 0 {
+		return stats, nil
+	}
+
+	queue := make(chan Spec, len(specs))
+	for _, s := range scheduleOrder(specs) {
+		queue <- s
+	}
+	close(queue)
+
+	results := make(chan Result, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			exec := cellExec(runInProcess)
+			if len(opts.WorkerCmd) > 0 {
+				pw := &procWorker{cmdline: opts.WorkerCmd, env: opts.WorkerEnv}
+				defer pw.stop()
+				exec = pw.exec
+			}
+			for s := range queue {
+				res := runCell(s, opts, exec)
+				res.Worker = id
+				results <- res
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	done := 0
+	for r := range results {
+		done++
+		stats.BusySeconds[r.Worker] += r.Seconds
+		if r.Err != "" {
+			stats.Failed++
+		}
+		if r.Attempts > 1 {
+			stats.Retried++
+		}
+		if opts.Progress != nil {
+			opts.Progress(done, len(specs), r)
+		}
+		if deliver != nil {
+			deliver(r)
+		}
+	}
+	stats.WallSeconds = time.Since(start).Seconds()
+	return stats, nil
+}
+
+// clampWorkers resolves the requested pool size: ≤0 means GOMAXPROCS, and
+// the result is clamped to [1, cells].
+func clampWorkers(requested, cells int) int {
+	n := requested
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if cells > 0 && n > cells {
+		n = cells
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// scheduleOrder returns the longest-cell-first run order: descending
+// self-estimated cost, stable on the enumeration order so equal-cost cells
+// keep a deterministic sequence. Starting the costliest cells first keeps
+// the pool's tail short: the last cells to finish are the cheap ones.
+func scheduleOrder(specs []Spec) []Spec {
+	out := append([]Spec(nil), specs...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost > out[j].Cost })
+	return out
+}
+
+// cellExec runs one attempt of one cell.
+type cellExec func(s Spec, timeout time.Duration) Result
+
+// runCell drives the attempt/retry loop for one cell.
+func runCell(s Spec, opts Options, exec cellExec) Result {
+	var res Result
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		res = exec(s, opts.Timeout)
+		res.Attempts = attempt
+		if res.Err == "" || attempt > opts.Retries {
+			break
+		}
+	}
+	res.Seconds = time.Since(start).Seconds()
+	return res
+}
+
+// runInProcess executes one attempt in this process, bounding it with the
+// timeout if one is set.
+func runInProcess(s Spec, timeout time.Duration) Result {
+	if timeout <= 0 {
+		return RunSpec(s)
+	}
+	done := make(chan Result, 1)
+	go func() { done <- RunSpec(s) }()
+	select {
+	case r := <-done:
+		return r
+	case <-time.After(timeout):
+		return Result{Coord: s.Coord, Kind: s.Kind,
+			Err: fmt.Sprintf("cell timed out after %v", timeout)}
+	}
+}
+
+// procWorker owns one worker subprocess and its protocol pipes. A dead or
+// timed-out worker is killed and lazily restarted on the next cell, so a
+// crashing cell costs one process, not the pool slot.
+type procWorker struct {
+	cmdline []string
+	env     []string
+	cmd     *exec.Cmd
+	in      io.WriteCloser
+	dec     *json.Decoder
+}
+
+func (p *procWorker) start() error {
+	cmd := exec.Command(p.cmdline[0], p.cmdline[1:]...)
+	if len(p.env) > 0 {
+		cmd.Env = append(os.Environ(), p.env...)
+	}
+	cmd.Stderr = os.Stderr
+	in, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	p.cmd, p.in, p.dec = cmd, in, json.NewDecoder(out)
+	return nil
+}
+
+// stop closes the worker's stdin (EOF ends ServeWorker cleanly) and reaps it.
+func (p *procWorker) stop() {
+	if p.cmd == nil {
+		return
+	}
+	p.in.Close()
+	p.cmd.Wait()
+	p.cmd = nil
+}
+
+// kill terminates a wedged or desynchronized worker.
+func (p *procWorker) kill() {
+	if p.cmd == nil {
+		return
+	}
+	p.in.Close()
+	p.cmd.Process.Kill()
+	p.cmd.Wait()
+	p.cmd = nil
+}
+
+func (p *procWorker) exec(s Spec, timeout time.Duration) Result {
+	fail := func(format string, args ...any) Result {
+		return Result{Coord: s.Coord, Kind: s.Kind, Err: fmt.Sprintf(format, args...)}
+	}
+	if p.cmd == nil {
+		if err := p.start(); err != nil {
+			return fail("starting worker %q: %v", strings.Join(p.cmdline, " "), err)
+		}
+	}
+	if err := json.NewEncoder(p.in).Encode(s); err != nil {
+		p.kill()
+		return fail("sending spec to worker: %v", err)
+	}
+	type reply struct {
+		res Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	dec := p.dec
+	go func() {
+		var r Result
+		err := dec.Decode(&r)
+		ch <- reply{r, err}
+	}()
+	var timer <-chan time.Time
+	if timeout > 0 {
+		timer = time.After(timeout)
+	}
+	select {
+	case rp := <-ch:
+		if rp.err != nil {
+			p.kill()
+			return fail("worker died mid-cell: %v", rp.err)
+		}
+		return rp.res
+	case <-timer:
+		p.kill()
+		return fail("cell timed out after %v (worker killed)", timeout)
+	}
+}

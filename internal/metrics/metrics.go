@@ -127,3 +127,48 @@ func MeanErr(rows []ErrRow) float64 {
 	}
 	return Mean(xs)
 }
+
+// GridStats aggregates the experiment-grid runner's own counters: how many
+// cells ran, failed, or needed retries, and how well the worker pool kept
+// its workers busy.
+type GridStats struct {
+	Cells   int
+	Failed  int
+	Retried int // cells that needed more than one attempt
+	// WallSeconds is the run's wall-clock duration; BusySeconds[w] is the
+	// total cell-execution time worker w accumulated (all attempts).
+	WallSeconds float64
+	BusySeconds []float64
+}
+
+// Workers returns the pool size.
+func (s GridStats) Workers() int { return len(s.BusySeconds) }
+
+// Busy returns the total cell-execution time across all workers — the
+// wall-clock a one-worker pool would have needed for the same cells.
+func (s GridStats) Busy() float64 {
+	var sum float64
+	for _, b := range s.BusySeconds {
+		sum += b
+	}
+	return sum
+}
+
+// Utilization returns Busy / (Workers × Wall) in [0, 1]: 1 means no worker
+// ever idled; low values indicate a straggler tail or too many workers.
+func (s GridStats) Utilization() float64 {
+	if s.WallSeconds <= 0 || len(s.BusySeconds) == 0 {
+		return 0
+	}
+	return s.Busy() / (float64(len(s.BusySeconds)) * s.WallSeconds)
+}
+
+// Parallelism returns Busy / Wall: the effective number of concurrently
+// busy workers, i.e. the wall-clock speedup over draining the same cells
+// sequentially.
+func (s GridStats) Parallelism() float64 {
+	if s.WallSeconds <= 0 {
+		return 0
+	}
+	return s.Busy() / s.WallSeconds
+}

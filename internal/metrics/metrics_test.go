@@ -121,3 +121,36 @@ func TestLinRegString(t *testing.T) {
 		t.Fatal("empty string")
 	}
 }
+
+func TestGridStats(t *testing.T) {
+	s := GridStats{
+		Cells:       10,
+		Failed:      1,
+		Retried:     2,
+		WallSeconds: 10,
+		BusySeconds: []float64{8, 6, 4, 2}, // 20s busy on 4 workers
+	}
+	if s.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", s.Workers())
+	}
+	if s.Busy() != 20 {
+		t.Fatalf("Busy() = %v, want 20", s.Busy())
+	}
+	if got, want := s.Utilization(), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Utilization() = %v, want %v", got, want)
+	}
+	if got, want := s.Parallelism(), 2.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Parallelism() = %v, want %v", got, want)
+	}
+}
+
+func TestGridStatsDegenerate(t *testing.T) {
+	var zero GridStats
+	if zero.Workers() != 0 || zero.Busy() != 0 || zero.Utilization() != 0 || zero.Parallelism() != 0 {
+		t.Fatalf("zero stats should report zeros, got %+v", zero)
+	}
+	noWall := GridStats{BusySeconds: []float64{1}}
+	if noWall.Utilization() != 0 || noWall.Parallelism() != 0 {
+		t.Fatal("wall=0 must not divide by zero")
+	}
+}
