@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/platform"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// benchIterRun executes the repeated-iteration pipeline (200 × 1 GB under
+// 8 GiB of RAM) once, with or without phase fast-forward, and returns the
+// simulated makespan so callers can cross-check the two paths agree.
+func benchIterRun(b *testing.B, ffwd bool) (float64, engine.FFwdReport) {
+	b.Helper()
+	const (
+		iterations = 200
+		size       = units.GB
+		ram        = 8 * units.GiB
+	)
+	sim := engine.NewSimulation()
+	if ffwd {
+		sim.EnableFastForward(engine.FFwdConfig{})
+	}
+	spec := platform.PaperHostSpec("node0", platform.SimMemorySpec("node0.mem"))
+	spec.MemoryCap = ram
+	mgr, err := core.NewManager(core.DefaultConfig(ram))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := engine.NewCoreModel(mgr, 100*units.MB, engine.ModeWriteback)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hr, err := sim.AddHostWithModel(spec, engine.ModeWriteback, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part, err := hr.AddDisk(platform.SimLocalDiskSpec("node0.disk"), "scratch", 8*size+units.GiB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := part.CreateSized("iter_input", size); err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.NS.Place("iter_input", part); err != nil {
+		b.Fatal(err)
+	}
+	sim.SpawnApp(hr, 0, "iter0", func(app *engine.App) error {
+		return workload.RunIterative(&workload.EngineRunner{App: app, Part: part}, workload.IterativeSpec{
+			Iterations: iterations, Size: size, CPU: workload.SyntheticCPU(size),
+			Input: "iter_input", Output: "iter_scratch",
+		})
+	})
+	if err := sim.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return sim.Makespan(), sim.FFwdReport()
+}
+
+// BenchmarkFastForward measures the wall-clock cost of the same 200-iteration
+// pipeline simulated exactly vs fast-forwarded after phase detection — the
+// off/on ratio is the speedup recorded in BENCH_ffwd.json. The two paths'
+// simulated makespans are asserted to agree within the oracle bound, so the
+// benchmark also re-verifies the accuracy claim on every run.
+func BenchmarkFastForward(b *testing.B) {
+	exactMakespan, _ := benchIterRun(b, false)
+	for _, ffwd := range []bool{false, true} {
+		ffwd := ffwd
+		b.Run(fmt.Sprintf("ffwd=%v", ffwd), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				makespan, rep := benchIterRun(b, ffwd)
+				errPct := 100 * abs(makespan-exactMakespan) / exactMakespan
+				if errPct > 1.0 {
+					b.Fatalf("makespan %v vs exact %v: %.4f%% error", makespan, exactMakespan, errPct)
+				}
+				if ffwd && !rep.Steady {
+					b.Fatal("fast-forward never reached steady state")
+				}
+			}
+		})
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -17,6 +17,7 @@
 //	experiments -fig8 -ablations
 //	experiments -policies            # cache-policy ablation (lru/clock/fifo/lfu)
 //	experiments -writebacks          # writeback-policy ablation (list-order/oldest-first/file-rr/proportional)
+//	experiments -ffwd                # fast-forward speedup/error ablation (exact vs phase-skipped)
 //	experiments -worker              # serve cells over stdin/stdout (spawned via -worker-cmd)
 package main
 
@@ -56,6 +57,7 @@ func Main(args []string, stdout io.Writer) int {
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
 		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
 		wbacks    = fs.Bool("writebacks", false, "writeback-policy ablation across registered writeback policies (not part of -all)")
+		ffwd      = fs.Bool("ffwd", false, "fast-forward speedup/error ablation on repeated-iteration pipelines (not part of -all)")
 		tables    = fs.Bool("tables", false, "print Tables I-III")
 		profiles  = fs.Bool("profiles", false, "print Fig 4b memory profiles (with -exp1)")
 		contents  = fs.Bool("contents", false, "print Fig 4c cache contents (with -exp1)")
@@ -80,7 +82,7 @@ func Main(args []string, stdout io.Writer) int {
 		}
 		return 0
 	}
-	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks) {
+	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks || *ffwd) {
 		*all = true
 	}
 	if *all {
@@ -231,6 +233,22 @@ func Main(args []string, stdout io.Writer) int {
 						{Name: "writeback_ablation.csv", Write: res.WriteCSV},
 						{Name: "writeback_hitratio.csv", Write: res.WriteSeriesCSV},
 					},
+				}, nil
+			},
+		})
+	}
+	if *ffwd {
+		sections = append(sections, exp.Section{
+			Key:   "ffwd",
+			Specs: exp.FFwdCells("ffwd", *quick),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeFFwd(*quick, ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{
+					Render: renderThenBlank(res.Render),
+					CSVs:   []exp.CSV{{Name: "ffwd_ablation.csv", Write: res.WriteCSV}},
 				}, nil
 			},
 		})

@@ -1,0 +1,245 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/phase"
+	"repro/internal/platform"
+	"repro/internal/snapshot"
+	"repro/internal/storage"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// iterConfig carries the flag-built parameters of a repeated-iteration
+// pipeline run (pcsim -iterations).
+type iterConfig struct {
+	iterations    int
+	size          int64
+	cpu           float64
+	ram, chunk    int64
+	mode          engine.Mode
+	cache         core.Config
+	memBW, diskBW float64
+	k             int
+	tol           float64
+	snapIn        string
+	snapOut       string
+}
+
+// File names of the iterative pipeline on the flag-built host.
+const (
+	iterInput  = "iter_input"
+	iterOutput = "iter_scratch"
+)
+
+// oracleMaxErrPct is the makespan error (percent) above which -ffwd-oracle
+// fails the run.
+const oracleMaxErrPct = 1.0
+
+// runIterSim builds and runs one iterative-pipeline simulation on the
+// standard flag-built single host, with fast-forward on or off.
+func runIterSim(c iterConfig, ffwd bool) (*engine.Simulation, *engine.HostRuntime, error) {
+	sim := engine.NewSimulation()
+	if ffwd {
+		sim.EnableFastForward(engine.FFwdConfig{Phase: phase.Config{K: c.k, Tol: c.tol}})
+	}
+	memSpec := platform.DeviceSpec{Name: "node0.mem", ReadBW: units.MBps(c.memBW), WriteBW: units.MBps(c.memBW)}
+	host := platform.HostSpec{Name: "node0", Cores: 32, FlopRate: 1e9, MemoryCap: c.ram, Memory: memSpec}
+	hr, err := sim.AddHost(host, c.mode, c.cache, c.chunk)
+	if err != nil {
+		return nil, nil, err
+	}
+	part, err := hr.AddDisk(platform.DeviceSpec{
+		Name: "node0.disk", ReadBW: units.MBps(c.diskBW), WriteBW: units.MBps(c.diskBW),
+	}, "scratch", 4*c.size+units.GiB)
+	if err != nil {
+		return nil, nil, err
+	}
+	if c.snapIn != "" {
+		if err := restoreHostSnapshot(c.snapIn, sim, hr, part); err != nil {
+			return nil, nil, err
+		}
+	}
+	if _, ok := part.Lookup(iterInput); !ok {
+		if _, err := part.CreateSized(iterInput, c.size); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := sim.NS.Place(iterInput, part); err != nil {
+		return nil, nil, err
+	}
+	sim.SpawnApp(hr, 0, "iter0", func(a *engine.App) error {
+		return workload.RunIterative(&workload.EngineRunner{App: a, Part: part}, workload.IterativeSpec{
+			Iterations: c.iterations, Size: c.size, CPU: c.cpu,
+			Input: iterInput, Output: iterOutput,
+		})
+	})
+	if err := sim.Run(); err != nil {
+		return nil, nil, err
+	}
+	return sim, hr, nil
+}
+
+// runIterative is the -iterations entry point: the oracle mode runs both the
+// exact and fast-forwarded paths and reports their disagreement; otherwise
+// one run executes with fast-forward per the -ffwd flag.
+func runIterative(c iterConfig, ffwd, oracle bool, stdout io.Writer) int {
+	if oracle {
+		return runOracle(c, stdout)
+	}
+	sim, hr, err := runIterSim(c, ffwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pcsim: iterative pipeline, %d iterations, %s per file, mode=%s, RAM=%s\n",
+		c.iterations, units.FormatBytes(c.size), c.mode, units.FormatBytes(c.ram))
+	if rep := sim.FFwdReport(); rep.Steady {
+		fmt.Fprintf(stdout, "fast-forward: simulated %d iterations, skipped %d analytically (steady at t=%.6gs, iteration period %.6gs)\n",
+			rep.IterationsSimulated, rep.IterationsSkipped, rep.SteadyAtSimS, rep.IterSimS)
+	} else if rep.Enabled {
+		fmt.Fprintln(stdout, "fast-forward: no steady state detected; every iteration simulated")
+	}
+	fmt.Fprintf(stdout, "makespan: %s   read hit ratio: %.4f\n",
+		units.FormatSeconds(sim.Makespan()), hitRatio(hr))
+	if c.snapOut != "" {
+		if err := writeHostSnapshot(c.snapOut, sim, hr); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cache snapshot written to %s\n", c.snapOut)
+	}
+	return 0
+}
+
+// runOracle runs the exact and fast-forwarded simulations back to back and
+// reports the makespan and hit-ratio error, failing when the makespan error
+// exceeds oracleMaxErrPct.
+func runOracle(c iterConfig, stdout io.Writer) int {
+	t0 := time.Now()
+	exSim, exHr, err := runIterSim(c, false)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: exact run: %v\n", err)
+		return 1
+	}
+	exWall := time.Since(t0)
+	t1 := time.Now()
+	ffSim, ffHr, err := runIterSim(c, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcsim: fast-forward run: %v\n", err)
+		return 1
+	}
+	ffWall := time.Since(t1)
+
+	exMk, ffMk := exSim.Makespan(), ffSim.Makespan()
+	errPct := math.Abs(ffMk-exMk) / exMk * 100
+	exHit, ffHit := hitRatio(exHr), hitRatio(ffHr)
+	rep := ffSim.FFwdReport()
+
+	fmt.Fprintf(stdout, "ffwd oracle: %d iterations, %s per file, mode=%s\n",
+		c.iterations, units.FormatBytes(c.size), c.mode)
+	fmt.Fprintf(stdout, "  exact:        makespan %.6gs   hit ratio %.4f\n", exMk, exHit)
+	fmt.Fprintf(stdout, "  fast-forward: makespan %.6gs   hit ratio %.4f   (simulated %d, skipped %d)\n",
+		ffMk, ffHit, rep.IterationsSimulated, rep.IterationsSkipped)
+	fmt.Fprintf(stdout, "  makespan error: %.4f%%   hit-ratio error: %.4f\n", errPct, math.Abs(ffHit-exHit))
+	speedup := float64(exWall) / float64(ffWall)
+	fmt.Fprintf(stdout, "  wall-clock: exact %.3fs, fast-forward %.3fs (speedup %.1fx)\n",
+		exWall.Seconds(), ffWall.Seconds(), speedup)
+	if errPct > oracleMaxErrPct {
+		fmt.Fprintf(stdout, "oracle: FAIL (makespan error %.4f%% > %g%%)\n", errPct, oracleMaxErrPct)
+		return 1
+	}
+	if !rep.Steady {
+		fmt.Fprintln(stdout, "oracle: FAIL (no steady state detected)")
+		return 1
+	}
+	fmt.Fprintln(stdout, "oracle: PASS")
+	return 0
+}
+
+// hitRatio computes the host cache's read hit ratio (0 when no reads ran).
+func hitRatio(hr *engine.HostRuntime) float64 {
+	st := hr.Model.Snapshot()
+	if tot := st.ReadHitBytes + st.ReadMissBytes; tot > 0 {
+		return float64(st.ReadHitBytes) / float64(tot)
+	}
+	return 0
+}
+
+// writeHostSnapshot saves the flag-built host's cache state and the backing
+// files its blocks refer to (-snapshot-out).
+func writeHostSnapshot(path string, sim *engine.Simulation, hr *engine.HostRuntime) error {
+	mp, ok := hr.Model.(engine.ManagerProvider)
+	if !ok {
+		return fmt.Errorf("this cache mode has no state to snapshot")
+	}
+	st := mp.Manager().SnapshotState()
+	f := &snapshot.File{
+		Version: snapshot.Version, SavedAtSimS: sim.Makespan(),
+		Hosts: map[string]*core.ManagerState{"node0": st},
+	}
+	seen := map[string]bool{}
+	for _, l := range st.Lists {
+		for _, b := range l.Blocks {
+			if seen[b.File] {
+				continue
+			}
+			seen[b.File] = true
+			part, err := sim.NS.Locate(b.File)
+			if err != nil {
+				return err
+			}
+			fl, ok := part.Lookup(b.File)
+			if !ok {
+				return fmt.Errorf("cached file %s missing from %s", b.File, part.Name())
+			}
+			f.Files = append(f.Files, snapshot.FileMeta{Name: b.File, Partition: part.Name(), Size: fl.Size})
+		}
+	}
+	return snapshot.WriteFile(path, f)
+}
+
+// restoreHostSnapshot loads a single-host snapshot into the flag-built
+// simulation before the run (-snapshot-in), recreating the backing files and
+// rebasing block timestamps to the new run's t=0. Cache counters are
+// restored as recorded: a snapshot-in run continues the saved run's history.
+func restoreHostSnapshot(path string, sim *engine.Simulation, hr *engine.HostRuntime, part *storage.Partition) error {
+	f, err := snapshot.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(f.Hosts) != 1 || len(f.Cgroups) > 0 || len(f.Servers) > 0 {
+		return fmt.Errorf("%s: flag-built runs restore single-host snapshots only (use -scenario warmup for richer ones)", path)
+	}
+	mp, ok := hr.Model.(engine.ManagerProvider)
+	if !ok {
+		return fmt.Errorf("this cache mode has no cache to restore into")
+	}
+	for _, fm := range f.Files {
+		if fm.Partition != part.Name() {
+			return fmt.Errorf("%s: snapshot references partition %q, this run only has %q", path, fm.Partition, part.Name())
+		}
+		if _, exists := part.Lookup(fm.Name); !exists {
+			if _, err := part.CreateSized(fm.Name, fm.Size); err != nil {
+				return err
+			}
+		}
+		if err := sim.NS.Place(fm.Name, part); err != nil {
+			return err
+		}
+	}
+	for _, st := range f.Hosts {
+		if err := mp.Manager().RestoreState(st); err != nil {
+			return err
+		}
+		mp.Manager().ShiftTimes(-f.SavedAtSimS)
+	}
+	return nil
+}

@@ -13,6 +13,21 @@
 //	pcsim -platform cluster.json -workflow nighres.json
 //	pcsim -scenario testdata/scenarios/nfs-server-restart.json
 //	pcsim -scenario testdata/scenarios/random-chaos.json -chaos-seed 7
+//
+// The repeated-iteration pipeline (-iterations) reads one input file,
+// computes, and rewrites a scratch output every iteration; once K
+// consecutive iterations produce matching phase signatures the engine skips
+// the rest analytically (disable with -ffwd=false; tune with -ffwd-k and
+// -ffwd-tol). -ffwd-oracle runs both paths and reports the makespan and
+// hit-ratio error, failing above 1% makespan error. -snapshot-out saves the
+// final cache state (and the backing-file list) as versioned JSON;
+// -snapshot-in restores one before the run, rebasing block timestamps to the
+// new run's t=0 — scenario documents get the same via their "warmup" stanza.
+//
+//	pcsim -iterations 60 -size 1GB -ram 8GiB -ffwd-oracle
+//	pcsim -iterations 500 -size 1GB -ram 8GiB
+//	pcsim -size 20GB -snapshot-out warm.snap.json
+//	pcsim -size 20GB -snapshot-in warm.snap.json
 package main
 
 import (
@@ -23,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/phase"
 	"repro/internal/platform"
 	"repro/internal/textplot"
 	"repro/internal/units"
@@ -55,6 +71,13 @@ func Main(args []string, stdout io.Writer) int {
 		wfPath     = fs.String("workflow", "", "workflow description JSON (runs instead of the synthetic pipeline; requires -platform)")
 		scenPath   = fs.String("scenario", "", "scenario description JSON (platform + workloads + chaos + assertions; ignores the other flags)")
 		chaosSeed  = fs.Int64("chaos-seed", 0, "override the scenario's chaos seed (with -scenario)")
+		iterations = fs.Int("iterations", 0, "run the repeated-iteration pipeline with this many iterations instead of the synthetic pipeline")
+		ffwdOn     = fs.Bool("ffwd", true, "fast-forward steady-state iterations analytically (with -iterations)")
+		ffwdOracle = fs.Bool("ffwd-oracle", false, "run both the exact and fast-forwarded paths and report the error (with -iterations)")
+		ffwdK      = fs.Int("ffwd-k", phase.DefaultK, "consecutive matching iterations before steady state is declared")
+		ffwdTol    = fs.Float64("ffwd-tol", phase.DefaultTol, "relative tolerance on the continuous phase-signature components")
+		snapOut    = fs.String("snapshot-out", "", "write the final cache state to this snapshot file")
+		snapIn     = fs.String("snapshot-in", "", "restore cache state from this snapshot file before the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,6 +148,19 @@ func Main(args []string, stdout io.Writer) int {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
 		return 2
 	}
+	if *ffwdOracle && *iterations <= 0 {
+		fmt.Fprintln(os.Stderr, "pcsim: -ffwd-oracle requires -iterations")
+		return 2
+	}
+	if *iterations > 0 {
+		return runIterative(iterConfig{
+			iterations: *iterations, size: size, cpu: cpu,
+			ram: ram, chunk: chunk, mode: mode, cache: cfg,
+			memBW: *memBW, diskBW: *diskBW,
+			k: *ffwdK, tol: *ffwdTol,
+			snapIn: *snapIn, snapOut: *snapOut,
+		}, *ffwdOn, *ffwdOracle, stdout)
+	}
 	hr, err := sim.AddHost(host, mode, cfg, chunk)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
@@ -138,11 +174,19 @@ func Main(args []string, stdout io.Writer) int {
 		return 1
 	}
 	hr.EnableMemTrace(1)
-	for i := 0; i < *instances; i++ {
-		files := workload.SyntheticFiles(i)
-		if _, err := part.CreateSized(files[0], size); err != nil {
+	if *snapIn != "" {
+		if err := restoreHostSnapshot(*snapIn, sim, hr, part); err != nil {
 			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
 			return 1
+		}
+	}
+	for i := 0; i < *instances; i++ {
+		files := workload.SyntheticFiles(i)
+		if _, ok := part.Lookup(files[0]); !ok {
+			if _, err := part.CreateSized(files[0], size); err != nil {
+				fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+				return 1
+			}
 		}
 		if err := sim.NS.Place(files[0], part); err != nil {
 			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
@@ -179,6 +223,14 @@ func Main(args []string, stdout io.Writer) int {
 	fmt.Fprintf(stdout, "makespan: %s   read total: %.1fs   write total: %.1fs\n",
 		units.FormatSeconds(sim.Makespan()),
 		sim.Log.Duration("read", -1), sim.Log.Duration("write", -1))
+
+	if *snapOut != "" {
+		if err := writeHostSnapshot(*snapOut, sim, hr); err != nil {
+			fmt.Fprintf(os.Stderr, "pcsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "cache snapshot written to %s\n", *snapOut)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

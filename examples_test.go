@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"burstbuffer", "burst buffer"},
 		{"policies", "policy comparison"},
 		{"writeback", "writeback comparison"},
+		{"fastforward", "fast-forward vs exact"},
 	}
 	for _, c := range cases {
 		c := c

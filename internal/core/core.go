@@ -93,6 +93,19 @@
 //	Manager.FlushBackground        O(1) when disabled or under threshold,
 //	                               else the Flush costs above per block
 //
+// The snapshot/restore seam (Manager.SnapshotState / RestoreState /
+// ShiftTimes, the substrate of warm-start scenarios and phase fast-forward)
+// keeps the same proportional contract:
+//
+//	Manager.SnapshotState          O(n) list walk + O(d) expiry-queue walk;
+//	                               no mutation
+//	Manager.RestoreState           O(n) raw tail appends (no coalescing) +
+//	                               O(d) expiry/writeback replay, then one
+//	                               CheckInvariants pass over the result
+//	Manager.ShiftTimes             O(n) uniform timestamp rebase; every
+//	                               ordering is preserved exactly
+//	Manager.AccumulateFFwd         O(1) counter arithmetic per skipped span
+//
 // Additionally, adjacent same-file clean blocks with identical entry and
 // access times — the products of repeated partial flush/demotion splits —
 // are coalesced on insert (policy metadata must match too, so no policy

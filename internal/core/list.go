@@ -137,6 +137,33 @@ func (l *List) PushBack(b *Block) {
 	l.account(b, +1)
 }
 
+// restoreAppend links b at the tail without the coalescing PushBack applies
+// — the snapshot-restore path (Manager.RestoreState), which must reproduce
+// the captured block layout exactly, split fragments and all. The caller
+// appends blocks in captured list order, so all secondary indexes stay
+// ordered. No access-time monotonicity is assumed: restored timestamps may
+// be negative after a rebase.
+func (l *List) restoreAppend(b *Block) {
+	if b.owner != nil {
+		panic("core: block already in a list")
+	}
+	b.owner = l
+	b.prev = l.tail
+	b.next = nil
+	if l.tail != nil {
+		l.tail.next = b
+	} else {
+		l.head = b
+	}
+	l.tail = b
+	if b.Dirty {
+		l.dirtyLinkAfter(b, l.dtail)
+	}
+	fc := l.chain(b.File)
+	l.fileLinkAfter(fc, b, fc.tail)
+	l.account(b, +1)
+}
+
 // InsertSorted places b at its LastAccess-sorted position: after every block
 // whose access time is ≤ b's (used when demoting blocks from the active
 // list, whose access times may interleave with the inactive list's). The

@@ -864,7 +864,8 @@ func (m *Manager) CheckInvariants() error {
 	}
 	// Expiry queue: exactly the dirty blocks of both lists, Entry-ordered.
 	var eqN int
-	lastEntry := -1.0
+	lastEntry := math.Inf(-1) // timestamps may be negative after a rebase
+
 	for b := m.eqHead; b != nil; b = b.enext {
 		if !b.Dirty || !dirtySet[b] {
 			return fmt.Errorf("expiry queue holds non-dirty or foreign block %v", b)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -154,7 +155,7 @@ func scanEvict(m *Manager, lists []*List, amount int64, exclude string) int64 {
 // checkListSorted verifies a list is ordered by LastAccess (the invariant of
 // access-ordered policies; CLOCK and LFU order by position instead).
 func checkListSorted(l *List) error {
-	last := -1.0
+	last := math.Inf(-1) // timestamps may be negative after a rebase
 	for b := l.Front(); b != nil; b = b.next {
 		if b.LastAccess < last {
 			return fmt.Errorf("list %s not sorted by access time at %v", l.Name(), b)

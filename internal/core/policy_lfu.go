@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 func init() {
 	RegisterPolicy("lfu", func() Policy {
@@ -127,6 +130,23 @@ func (p *lfuPolicy) EvictClean(m *Manager, amount int64, exclude string) int64 {
 }
 
 func (p *lfuPolicy) Rebalance(*Manager) {}
+
+// ShiftTimes rebases the lazy-decay epochs by a clock shift of delta
+// simulated seconds (TimeShiftablePolicy). Epochs are half-life-sized
+// buckets of absolute time, so a uniform time warp moves every block's
+// epoch by the same whole-bucket count; the sub-bucket remainder is folded
+// into the next decay, the same rounding lazy decay always applies.
+func (p *lfuPolicy) ShiftTimes(delta float64) {
+	shift := int32(math.Floor(delta / p.halfLife))
+	if shift == 0 {
+		return
+	}
+	for _, l := range p.lists {
+		for b := l.Front(); b != nil; b = b.next {
+			b.freqEpoch += shift
+		}
+	}
+}
 
 // CheckInvariants verifies every block sits in the bucket its stored
 // frequency maps to (decay is lazy, so the stored — not the effective —

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // wbFileQueue threads one file's dirty blocks (across all of the
 // replacement policy's lists) in Entry order through Block.wprev/wnext,
@@ -132,6 +135,52 @@ func (q *wbFileQueues) current() *wbFileQueue {
 	return q.cursor
 }
 
+// snapshotAux captures the history-dependent part of the structure — the
+// ring's file order and the round-robin cursor — for StatefulWritebackPolicy.
+// The per-file queues themselves need no capture: Manager.RestoreState
+// rebuilds them by replaying NoteDirty in expiry order.
+func (q *wbFileQueues) snapshotAux() *WritebackState {
+	st := &WritebackState{}
+	for fq := q.ringHead; fq != nil; fq = fq.next {
+		st.Ring = append(st.Ring, fq.file)
+	}
+	if q.cursor != nil {
+		st.Cursor, st.HasCursor = q.cursor.file, true
+	}
+	return st
+}
+
+// restoreAux re-applies a captured ring order and cursor after the NoteDirty
+// replay rebuilt the per-file queues (whose ring is then in replay order,
+// not the captured first-dirtied order).
+func (q *wbFileQueues) restoreAux(st *WritebackState) error {
+	if len(st.Ring) != len(q.files) {
+		return fmt.Errorf("writeback aux ring has %d files, queues hold %d", len(st.Ring), len(q.files))
+	}
+	q.ringHead, q.ringTail, q.cursor = nil, nil, nil
+	seen := make(map[string]bool, len(st.Ring))
+	for _, file := range st.Ring {
+		fq := q.files[file]
+		if fq == nil {
+			return fmt.Errorf("writeback aux ring names %s, which holds no dirty data", file)
+		}
+		if seen[file] {
+			return fmt.Errorf("writeback aux ring repeats %s", file)
+		}
+		seen[file] = true
+		fq.prev, fq.next = nil, nil
+		q.ringAppend(fq)
+	}
+	if st.HasCursor {
+		fq := q.files[st.Cursor]
+		if fq == nil {
+			return fmt.Errorf("writeback aux cursor names %s, which holds no dirty data", st.Cursor)
+		}
+		q.cursor = fq
+	}
+	return nil
+}
+
 // checkInvariants verifies the queues against the manager's lists: every
 // dirty block in exactly its file's queue, queues in Entry order with sound
 // back-links, the ring holding exactly the files with dirty blocks, and the
@@ -150,7 +199,7 @@ func (q *wbFileQueues) checkInvariants(m *Manager) error {
 			return fmt.Errorf("writeback: empty queue retained for %s", file)
 		}
 		n := 0
-		lastEntry := -1.0
+		lastEntry := math.Inf(-1) // timestamps may be negative after a rebase
 		for b := fq.head; b != nil; b = b.wnext {
 			if b.File != file || !b.Dirty {
 				return fmt.Errorf("writeback: queue %s holds foreign or clean block %v", file, b)

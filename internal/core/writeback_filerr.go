@@ -40,3 +40,9 @@ func (p *fileRRWriteback) NextExpired(m *Manager, now float64) *Block {
 }
 
 func (p *fileRRWriteback) CheckInvariants(m *Manager) error { return p.q.checkInvariants(m) }
+
+// SnapshotWriteback / RestoreWriteback capture and re-apply the ring order
+// and round-robin cursor (StatefulWritebackPolicy): both depend on dirtying
+// and flushing history the Manager's restore replay cannot reconstruct.
+func (p *fileRRWriteback) SnapshotWriteback() *WritebackState        { return p.q.snapshotAux() }
+func (p *fileRRWriteback) RestoreWriteback(st *WritebackState) error { return p.q.restoreAux(st) }

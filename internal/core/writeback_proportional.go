@@ -51,3 +51,9 @@ func (p *proportionalWriteback) NextExpired(m *Manager, now float64) *Block {
 }
 
 func (p *proportionalWriteback) CheckInvariants(m *Manager) error { return p.q.checkInvariants(m) }
+
+// SnapshotWriteback / RestoreWriteback capture and re-apply the ring order
+// (StatefulWritebackPolicy): the ring breaks selection ties first-dirtied
+// first, an order the Manager's restore replay cannot reconstruct.
+func (p *proportionalWriteback) SnapshotWriteback() *WritebackState        { return p.q.snapshotAux() }
+func (p *proportionalWriteback) RestoreWriteback(st *WritebackState) error { return p.q.restoreAux(st) }

@@ -191,6 +191,30 @@ func (k *Kernel) After(d float64, fn func()) Timer {
 	return k.At(k.now+d, fn)
 }
 
+// Warp advances the virtual clock by delta seconds and shifts every pending
+// event — heap and same-time FIFO alike — by the same amount. A uniform
+// shift preserves every (time, seq) ordering, so the heap needs no
+// re-ordering and determinism is untouched: the simulation resumes exactly
+// where it was, delta seconds later. This is the fast-forward primitive —
+// skipping a steady-state span analytically means warping the clock past it
+// while periodic machinery (flusher timers, samplers) keeps its relative
+// phase. Negative deltas are rejected: the clock is monotonic.
+func (k *Kernel) Warp(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("des: Warp by negative delta %g", delta))
+	}
+	if delta == 0 {
+		return
+	}
+	k.now += delta
+	for _, e := range k.events {
+		e.t += delta
+	}
+	for i := k.fastHead; i < len(k.fastq); i++ {
+		k.fastq[i].t += delta
+	}
+}
+
 // ErrDeadlock is returned by Run when processes remain parked but no event
 // can ever wake them.
 type ErrDeadlock struct {

@@ -1,0 +1,60 @@
+package des
+
+import "testing"
+
+// TestWarp covers the fast-forward time jump: Warp advances the clock and
+// every pending event by the same delta, so relative timing — and therefore
+// everything the simulation computes from durations — is preserved exactly.
+func TestWarp(t *testing.T) {
+	k := NewKernel()
+	var fired []float64
+	note := func() { fired = append(fired, k.Now()) }
+	k.At(1, func() {
+		note()
+		k.Warp(10) // mid-run jump: the pending t=2 and t=3 events shift with it
+	})
+	k.At(2, note)
+	k.At(3, func() {
+		note()
+		k.After(0.5, note) // scheduled post-warp: plain relative delay
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 12, 13, 13.5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if k.Now() != 13.5 {
+		t.Fatalf("Now = %v, want 13.5", k.Now())
+	}
+}
+
+func TestWarpZeroIsNoop(t *testing.T) {
+	k := NewKernel()
+	fired := -1.0
+	k.At(1, func() {
+		k.Warp(0)
+		fired = k.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("event fired at %v, want 1", fired)
+	}
+}
+
+func TestWarpNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Warp(-1) did not panic")
+		}
+	}()
+	NewKernel().Warp(-1)
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"repro/internal/phase"
+	"repro/internal/trace"
+)
+
+// This file is the engine side of phase fast-forward: an iterative workload
+// reports iteration boundaries (App.IterationDone), the phase detector
+// watches the per-iteration signatures, and once K consecutive iterations
+// match, the remaining ones are skipped analytically — the DES clock warps
+// past them (Kernel.Warp), the cache's block timestamps move with it
+// (Manager.ShiftTimes, preserving every relative age and ordering), and the
+// converged iteration's counter deltas are accumulated once per skipped
+// iteration (Manager.AccumulateFFwd). Fast-forward is strictly opt-in
+// (EnableFastForward); when off, none of this code runs and the simulation
+// is byte-identical to one built before the subsystem existed.
+//
+// The skip is exact when the steady iteration really is periodic (same ops,
+// same bytes, same cache deltas — the detector's match criteria) and
+// approximate otherwise; the -ffwd-oracle mode of cmd/pcsim runs both paths
+// and reports the makespan/hit-ratio error.
+
+// FFwdConfig enables analytical fast-forward of steady-state iterations.
+type FFwdConfig struct {
+	// Phase tunes the steady-state detector (K, tolerance).
+	Phase phase.Config
+}
+
+// FFwdReport describes what fast-forward did during a run.
+type FFwdReport struct {
+	// Enabled reports whether fast-forward was switched on at all.
+	Enabled bool
+	// Steady reports whether the detector declared steady state.
+	Steady bool
+	// SteadyAtSimS is the simulated time steady state was declared.
+	SteadyAtSimS float64
+	// IterSimS is the converged iteration's simulated duration — the span
+	// each skipped iteration was assumed to take.
+	IterSimS float64
+	// IterationsSimulated and IterationsSkipped partition the workload's
+	// iterations into simulated and analytically skipped.
+	IterationsSimulated int
+	IterationsSkipped   int
+	// SkippedSimS is the simulated time the clock warped past.
+	SkippedSimS float64
+}
+
+// ffwdState is the per-simulation fast-forward machinery: the detector plus
+// the counter baseline taken at the previous iteration boundary.
+type ffwdState struct {
+	det    *phase.Detector
+	report FFwdReport
+	done   bool // fired (or gave up); further boundaries are ignored
+
+	haveBase      bool
+	baseT         float64
+	baseOps       int
+	baseHits      int64
+	baseMisses    int64
+	baseFlushed   int64
+	baseThrottled float64
+}
+
+// EnableFastForward arms phase detection + analytical fast-forward for this
+// simulation. Iterative workloads report boundaries via App.IterationDone;
+// everything else is unaffected. Call before Run.
+func (s *Simulation) EnableFastForward(cfg FFwdConfig) {
+	s.ffwd = &ffwdState{det: phase.New(cfg.Phase), report: FFwdReport{Enabled: true}}
+}
+
+// FFwdReport returns what fast-forward did (the zero value when it was
+// never enabled). Valid after Run.
+func (s *Simulation) FFwdReport() FFwdReport {
+	if s.ffwd == nil {
+		return FFwdReport{}
+	}
+	return s.ffwd.report
+}
+
+// IterationDone reports that the app just finished iteration `done` of
+// `total` (1-based count of completed iterations) and returns how many of
+// the remaining iterations the engine fast-forwarded analytically; the
+// workload loop must skip that many. It returns 0 — and is entirely
+// side-effect-free — unless fast-forward was enabled, the simulation runs
+// exactly one application (concurrent apps perturb each other's phases),
+// and the app's cache model exposes a core.Manager.
+//
+// The per-iteration signature spans the window since the previous boundary:
+// simulated duration, logged read/write bytes, manager counter deltas
+// (hits, misses, flushed bytes, throttle time), end-of-iteration cache and
+// dirty levels, and the op-sequence fingerprint. Once the detector sees K
+// matching iterations, the remaining N−done iterations are skipped: the
+// clock warps forward by done-iteration-duration × remaining, block
+// timestamps shift with it, counters accumulate the per-iteration deltas,
+// and one aggregate "FastForward" op is logged covering the warped span.
+func (a *App) IterationDone(done, total int) int {
+	f := a.sim.ffwd
+	if f == nil || f.done {
+		return 0
+	}
+	if len(a.sim.apps) != 1 {
+		return 0
+	}
+	mp, ok := a.model.(ManagerProvider)
+	if !ok {
+		return 0
+	}
+	mgr := mp.Manager()
+	now := a.p.Now()
+	hits, misses := mgr.ReadHitBytes(), mgr.ReadMissBytes()
+	flushed, throttled := mgr.FlushedBytes(), mgr.WriteThrottledSeconds()
+	nOps := len(a.sim.Log.Ops)
+	if !f.haveBase {
+		f.haveBase = true
+		f.baseT, f.baseOps = now, nOps
+		f.baseHits, f.baseMisses = hits, misses
+		f.baseFlushed, f.baseThrottled = flushed, throttled
+		f.report.IterationsSimulated = done
+		return 0
+	}
+	var readB, writeB int64
+	for i := f.baseOps; i < nOps; i++ {
+		switch a.sim.Log.Ops[i].Kind {
+		case "read":
+			readB += a.sim.Log.Ops[i].Bytes
+		case "write":
+			writeB += a.sim.Log.Ops[i].Bytes
+		}
+	}
+	sig := phase.Signature{
+		Duration:     now - f.baseT,
+		ReadBytes:    readB,
+		WriteBytes:   writeB,
+		HitBytes:     hits - f.baseHits,
+		MissBytes:    misses - f.baseMisses,
+		FlushedBytes: flushed - f.baseFlushed,
+		ThrottledSec: throttled - f.baseThrottled,
+		Dirty:        mgr.Dirty(),
+		CacheBytes:   mgr.CacheBytes(),
+		Fingerprint:  a.sim.Log.Fingerprint(f.baseOps, nOps),
+	}
+	steady := f.det.Observe(sig)
+	f.baseT, f.baseOps = now, nOps
+	f.baseHits, f.baseMisses = hits, misses
+	f.baseFlushed, f.baseThrottled = flushed, throttled
+	f.report.IterationsSimulated = done
+	if !steady {
+		return 0
+	}
+	f.done = true
+	f.report.Steady = true
+	f.report.SteadyAtSimS = now
+	f.report.IterSimS = sig.Duration
+	remaining := total - done
+	if remaining <= 0 {
+		return 0
+	}
+	delta := sig.Duration * float64(remaining)
+	a.sim.K.Warp(delta)
+	mgr.ShiftTimes(delta)
+	mgr.AccumulateFFwd(int64(remaining), sig.HitBytes, sig.MissBytes, sig.FlushedBytes, sig.ThrottledSec)
+	a.sim.Log.Add(trace.Op{
+		Instance: a.instance, Name: "FastForward", Kind: "ffwd",
+		Start: now, End: a.p.Now(),
+		Bytes: int64(remaining) * (sig.ReadBytes + sig.WriteBytes),
+	})
+	f.report.IterationsSkipped = remaining
+	f.report.SkippedSimS = delta
+	return remaining
+}

@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/phase"
+	"repro/internal/storage"
+)
+
+// iterBody is the repeated-iteration pipeline written against raw App
+// primitives (mirroring workload.RunIterative, which lives upstream of this
+// package): read the input, compute, rewrite the scratch output, report the
+// boundary, and skip whatever the engine fast-forwarded.
+func iterBody(part *storage.Partition, iterations int, size int64, cpu float64) func(a *App) error {
+	return func(a *App) error {
+		for i := 0; i < iterations; {
+			if err := a.ReadFile("f1", "IterRead"); err != nil {
+				return err
+			}
+			a.Compute(cpu, "IterCompute")
+			if i > 0 {
+				if err := a.DeleteFile("out"); err != nil {
+					return err
+				}
+			}
+			if err := a.WriteFile("out", size, part, "IterWrite"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+			i++
+			i += a.IterationDone(i, iterations)
+		}
+		return nil
+	}
+}
+
+func runIterRig(t *testing.T, iterations int, enable bool, cfg FFwdConfig) *testRig {
+	t.Helper()
+	r := newRig(t, ModeWriteback)
+	if enable {
+		r.sim.EnableFastForward(cfg)
+	}
+	r.sim.SpawnApp(r.hr, 0, "iter", iterBody(r.part, iterations, 80, 0.1))
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestFastForwardMatchesExact pins the headline property: on a perfectly
+// periodic pipeline the fast-forwarded run reproduces the exact run's
+// makespan and cumulative cache counters while actually simulating only a
+// handful of iterations.
+func TestFastForwardMatchesExact(t *testing.T) {
+	const iterations = 30
+	exact := runIterRig(t, iterations, false, FFwdConfig{})
+	ffwd := runIterRig(t, iterations, true, FFwdConfig{})
+
+	rep := ffwd.sim.FFwdReport()
+	if !rep.Enabled || !rep.Steady {
+		t.Fatalf("report = %+v, want enabled and steady", rep)
+	}
+	if rep.IterationsSimulated+rep.IterationsSkipped != iterations {
+		t.Fatalf("simulated %d + skipped %d != %d", rep.IterationsSimulated, rep.IterationsSkipped, iterations)
+	}
+	if rep.IterationsSkipped == 0 {
+		t.Fatal("periodic pipeline skipped no iterations")
+	}
+	em, fm := exact.sim.Makespan(), ffwd.sim.Makespan()
+	if !near(fm, em, 1e-9*em) {
+		t.Fatalf("ffwd makespan %v, exact %v", fm, em)
+	}
+	es, fs := exact.hr.Model.Snapshot(), ffwd.hr.Model.Snapshot()
+	if es.ReadHitBytes != fs.ReadHitBytes || es.ReadMissBytes != fs.ReadMissBytes {
+		t.Fatalf("cumulative hit/miss bytes diverged: exact %d/%d, ffwd %d/%d",
+			es.ReadHitBytes, es.ReadMissBytes, fs.ReadHitBytes, fs.ReadMissBytes)
+	}
+	// The warp is visible in the log as one aggregate op spanning the skip.
+	ff := ffwd.sim.Log.ByName("FastForward")
+	if len(ff) != 1 {
+		t.Fatalf("FastForward ops logged %d times, want 1", len(ff))
+	}
+	if !near(ff[0].Duration(), rep.SkippedSimS, 1e-9) {
+		t.Fatalf("FastForward op spans %v, report says %v", ff[0].Duration(), rep.SkippedSimS)
+	}
+}
+
+// TestFastForwardDisabledIsInert pins the determinism contract: with
+// fast-forward off, IterationDone is side-effect-free and the run is
+// indistinguishable — op-by-op — from one that never called it.
+func TestFastForwardDisabledIsInert(t *testing.T) {
+	const iterations = 8
+	withBoundary := runIterRig(t, iterations, false, FFwdConfig{})
+
+	plain := newRig(t, ModeWriteback)
+	plain.sim.SpawnApp(plain.hr, 0, "iter", func(a *App) error {
+		for i := 0; i < iterations; i++ {
+			if err := a.ReadFile("f1", "IterRead"); err != nil {
+				return err
+			}
+			a.Compute(0.1, "IterCompute")
+			if i > 0 {
+				if err := a.DeleteFile("out"); err != nil {
+					return err
+				}
+			}
+			if err := a.WriteFile("out", 80, plain.part, "IterWrite"); err != nil {
+				return err
+			}
+			a.ReleaseTaskMemory()
+		}
+		return nil
+	})
+	if err := plain.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withBoundary.sim.Log.Ops, plain.sim.Log.Ops) {
+		t.Fatal("IterationDone with fast-forward off changed the op log")
+	}
+	if rep := withBoundary.sim.FFwdReport(); rep != (FFwdReport{}) {
+		t.Fatalf("report = %+v, want zero value when never enabled", rep)
+	}
+}
+
+// TestFastForwardKRaisesSimulatedCount: a larger K demands a longer streak,
+// so more iterations are simulated before the warp.
+func TestFastForwardK(t *testing.T) {
+	k3 := runIterRig(t, 30, true, FFwdConfig{}).sim.FFwdReport()
+	k6 := runIterRig(t, 30, true, FFwdConfig{Phase: phase.Config{K: 6}}).sim.FFwdReport()
+	if !k3.Steady || !k6.Steady {
+		t.Fatalf("not steady: k3 %+v, k6 %+v", k3, k6)
+	}
+	if k6.IterationsSimulated <= k3.IterationsSimulated {
+		t.Fatalf("K=6 simulated %d iterations, K=3 %d — want more under the larger K",
+			k6.IterationsSimulated, k3.IterationsSimulated)
+	}
+}
+
+// TestFastForwardMultiAppGuard: concurrent apps perturb each other's phases,
+// so boundary reports from a two-app simulation must be ignored even with
+// fast-forward enabled.
+func TestFastForwardMultiAppGuard(t *testing.T) {
+	r := newRig(t, ModeWriteback)
+	r.sim.EnableFastForward(FFwdConfig{})
+	r.sim.SpawnApp(r.hr, 0, "iter", iterBody(r.part, 10, 80, 0.1))
+	r.sim.SpawnApp(r.hr, 1, "other", func(a *App) error {
+		a.Compute(0.5, "Compute")
+		return nil
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.sim.FFwdReport()
+	if rep.Steady || rep.IterationsSkipped != 0 {
+		t.Fatalf("two-app run fast-forwarded: %+v", rep)
+	}
+	if len(r.sim.Log.ByName("FastForward")) != 0 {
+		t.Fatal("two-app run logged a FastForward op")
+	}
+}

@@ -25,6 +25,9 @@ type Simulation struct {
 	appErrs []error
 	started map[CacheModel]bool
 	running bool
+	// ffwd is the phase-detection + fast-forward machinery; nil (the
+	// default) means off and the run is byte-identical to pre-ffwd builds.
+	ffwd *ffwdState
 	// partHost maps each partition to the host whose disk backs it, to
 	// distinguish local from remote access.
 	partHost map[*storage.Partition]*HostRuntime

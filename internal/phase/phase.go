@@ -1,0 +1,139 @@
+// Package phase detects steady-state phases in a running simulation from
+// per-iteration signatures, in the spirit of representative-interval cache
+// simulation ("Improving the Representativeness of Simulation Intervals for
+// the Cache Memory System", PAPERS.md): once an iterative workload's cache
+// behavior stops changing, simulating further iterations adds no
+// information, and the engine can fast-forward them analytically
+// (internal/engine). The detector itself is engine-agnostic — it consumes
+// Signature values and answers "steady yet?" — so it is testable in
+// isolation and reusable by any driver that can measure iterations.
+package phase
+
+import "math"
+
+// Signature summarizes one workload iteration: wall-clock in simulated
+// seconds, the byte flows the iteration caused, the cache level it left
+// behind, and an order-sensitive fingerprint of its operation sequence
+// (trace.OpLog.Fingerprint). Two iterations with equal signatures moved the
+// same bytes through the same operations in the same time — the model's
+// definition of "the cache has converged".
+type Signature struct {
+	// Duration is the iteration's simulated wall-clock span.
+	Duration float64
+	// ReadBytes/WriteBytes are the application bytes the iteration read and
+	// wrote (hit or miss).
+	ReadBytes, WriteBytes int64
+	// HitBytes/MissBytes split the read side by cache outcome.
+	HitBytes, MissBytes int64
+	// FlushedBytes are the bytes written back during the iteration.
+	FlushedBytes int64
+	// ThrottledSec is the simulated time writers spent dirty-throttled.
+	ThrottledSec float64
+	// Dirty and CacheBytes are the cache levels at iteration end.
+	Dirty, CacheBytes int64
+	// Fingerprint hashes the iteration's operation sequence (names, kinds,
+	// sizes, order). Equal fingerprints mean the same access pattern.
+	Fingerprint uint64
+}
+
+// Config tunes the detector.
+type Config struct {
+	// K is the number of consecutive matching iterations required before the
+	// detector declares steady state (pcsim -ffwd-k). Minimum meaningful
+	// value is 2 — one iteration to measure, one to confirm. Default 3.
+	K int
+	// Tol is the relative tolerance applied to the continuous components of
+	// the signature (Duration, ThrottledSec, and the end-of-iteration cache
+	// levels), which can jitter by an event's width even in a perfectly
+	// periodic run (pcsim -ffwd-tol). The discrete flow counters and the
+	// fingerprint must match exactly. Default 0.01 (1%).
+	Tol float64
+}
+
+// DefaultK and DefaultTol are the Config defaults.
+const (
+	DefaultK   = 3
+	DefaultTol = 0.01
+)
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = DefaultK
+	}
+	if c.K < 2 {
+		c.K = 2
+	}
+	if c.Tol <= 0 {
+		c.Tol = DefaultTol
+	}
+	return c
+}
+
+// Detector accumulates per-iteration signatures and reports steady state
+// after K consecutive matches. The zero value is not usable; call New.
+type Detector struct {
+	cfg    Config
+	last   Signature
+	have   bool
+	streak int // iterations matching `last`, including the reference itself
+}
+
+// New returns a Detector with the given (defaulted) configuration.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults()}
+}
+
+// Config returns the detector's effective (defaulted) configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe feeds one iteration's signature and reports whether the detector
+// now considers the run steady: the last K signatures (this one included)
+// matched pairwise. A mismatch makes the new signature the reference for the
+// next streak.
+func (d *Detector) Observe(sig Signature) bool {
+	if d.have && d.matches(d.last, sig) {
+		d.streak++
+	} else {
+		d.last, d.have, d.streak = sig, true, 1
+	}
+	// The reference iteration counts: streak==K means K iterations produced
+	// pairwise-matching signatures.
+	return d.streak >= d.cfg.K
+}
+
+// Streak returns the current run of matching iterations.
+func (d *Detector) Streak() int { return d.streak }
+
+// Reference returns the signature the current streak is matched against and
+// whether one exists. Once steady, it is the converged iteration the engine
+// replays analytically.
+func (d *Detector) Reference() (Signature, bool) { return d.last, d.have }
+
+// Reset clears the detector (e.g. after a fast-forward, should the driver
+// keep simulating).
+func (d *Detector) Reset() { d.have, d.streak = false, 0 }
+
+// matches compares two signatures under the configured tolerance: byte
+// flows and the access-pattern fingerprint exactly, continuous quantities
+// within relative Tol.
+func (d *Detector) matches(a, b Signature) bool {
+	return a.ReadBytes == b.ReadBytes &&
+		a.WriteBytes == b.WriteBytes &&
+		a.HitBytes == b.HitBytes &&
+		a.MissBytes == b.MissBytes &&
+		a.FlushedBytes == b.FlushedBytes &&
+		a.Fingerprint == b.Fingerprint &&
+		within(a.Duration, b.Duration, d.cfg.Tol) &&
+		within(a.ThrottledSec, b.ThrottledSec, d.cfg.Tol) &&
+		within(float64(a.Dirty), float64(b.Dirty), d.cfg.Tol) &&
+		within(float64(a.CacheBytes), float64(b.CacheBytes), d.cfg.Tol)
+}
+
+// within reports |a-b| ≤ tol·max(|a|,|b|); exact equality (including 0,0)
+// always passes.
+func within(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,133 @@
+package phase
+
+import "testing"
+
+// sig builds a baseline signature with the given duration; the byte-flow
+// fields stay fixed so only the varied component decides a match.
+func sig(dur float64) Signature {
+	return Signature{
+		Duration: dur, ReadBytes: 1 << 30, WriteBytes: 1 << 30,
+		HitBytes: 3 << 28, MissBytes: 1 << 28, FlushedBytes: 1 << 29,
+		ThrottledSec: 0.5, Dirty: 1 << 27, CacheBytes: 1 << 29,
+		Fingerprint: 0xdeadbeef,
+	}
+}
+
+func TestDetectorSteadyAfterK(t *testing.T) {
+	d := New(Config{K: 3})
+	if d.Observe(sig(10)) {
+		t.Fatal("steady after 1 iteration")
+	}
+	if d.Observe(sig(10)) {
+		t.Fatal("steady after 2 iterations with K=3")
+	}
+	if !d.Observe(sig(10)) {
+		t.Fatal("not steady after 3 matching iterations")
+	}
+	if d.Streak() != 3 {
+		t.Fatalf("streak = %d, want 3", d.Streak())
+	}
+	ref, ok := d.Reference()
+	if !ok || ref != sig(10) {
+		t.Fatalf("reference = %+v (%v), want the matched signature", ref, ok)
+	}
+}
+
+func TestDetectorMismatchRestartsStreak(t *testing.T) {
+	d := New(Config{K: 2})
+	warm := sig(10)
+	warm.MissBytes, warm.HitBytes = warm.HitBytes, warm.MissBytes // cold first pass
+	if d.Observe(warm) {
+		t.Fatal("steady on first iteration")
+	}
+	if d.Observe(sig(10)) {
+		t.Fatal("steady across a byte-flow change")
+	}
+	if !d.Observe(sig(10)) {
+		t.Fatal("not steady after the streak re-established")
+	}
+}
+
+// TestDetectorTolerance pins the hybrid matching rule: continuous components
+// (duration, throttle time, cache levels) match within Tol, while byte flows
+// and the access-pattern fingerprint must be exact at any tolerance.
+func TestDetectorTolerance(t *testing.T) {
+	d := New(Config{K: 2, Tol: 0.01})
+	d.Observe(sig(100))
+	if !d.Observe(sig(100.9)) {
+		t.Fatal("0.9% duration jitter rejected at 1% tolerance")
+	}
+
+	d = New(Config{K: 2, Tol: 0.01})
+	d.Observe(sig(100))
+	if d.Observe(sig(102)) {
+		t.Fatal("2% duration drift accepted at 1% tolerance")
+	}
+
+	d = New(Config{K: 2, Tol: 0.5})
+	d.Observe(sig(100))
+	off := sig(100)
+	off.Fingerprint++
+	if d.Observe(off) {
+		t.Fatal("fingerprint change accepted: discrete components must be exact")
+	}
+
+	d = New(Config{K: 2, Tol: 0.5})
+	d.Observe(sig(100))
+	off = sig(100)
+	off.ReadBytes++
+	if d.Observe(off) {
+		t.Fatal("byte-flow change accepted: discrete components must be exact")
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	d := New(Config{K: 2})
+	d.Observe(sig(10))
+	if !d.Observe(sig(10)) {
+		t.Fatal("not steady")
+	}
+	d.Reset()
+	if d.Streak() != 0 {
+		t.Fatalf("streak after Reset = %d", d.Streak())
+	}
+	if _, ok := d.Reference(); ok {
+		t.Fatal("reference survived Reset")
+	}
+	if d.Observe(sig(10)) {
+		t.Fatal("steady after a single post-Reset iteration")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	if c := New(Config{}).Config(); c.K != DefaultK || c.Tol != DefaultTol {
+		t.Fatalf("zero config resolved to %+v", c)
+	}
+	// K below the minimum meaningful value clamps to 2: one iteration to
+	// measure, one to confirm.
+	if c := New(Config{K: 1, Tol: 0.1}).Config(); c.K != 2 || c.Tol != 0.1 {
+		t.Fatalf("K=1 resolved to %+v", c)
+	}
+	if New(Config{K: 2}).Observe(sig(1)) {
+		t.Fatal("steady after one iteration with K=2")
+	}
+}
+
+// TestWithin pins the relative-tolerance predicate's edge cases.
+func TestWithin(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{0, 0, 0.01, true},     // exact zero matches itself at any tolerance
+		{0, 1e-9, 0.01, false}, // zero vs nonzero: relative tolerance can't bridge it
+		{100, 101, 0.01, true},
+		{100, 102, 0.01, false},
+		{-100, -101, 0.01, true}, // symmetric in sign
+	}
+	for _, c := range cases {
+		if got := within(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("within(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}

@@ -213,3 +213,15 @@ func (s *Sim) ReleaseTaskMemory() {
 func (s *Sim) SnapshotCache(label string) {
 	s.Snaps.Add(label, s.clock, s.mgr.CachedByFile())
 }
+
+// DeleteFile removes the named file from the virtual disk and drops its
+// cached blocks without writing anything back (deletion semantics), taking
+// no simulated time.
+func (s *Sim) DeleteFile(file string) error {
+	if _, ok := s.files[file]; !ok {
+		return fmt.Errorf("pysim: delete of missing file %s", file)
+	}
+	delete(s.files, file)
+	s.mgr.InvalidateFile(file)
+	return nil
+}

@@ -44,6 +44,12 @@ type Result struct {
 	WorkloadErrs map[string]error
 	Assertions   []AssertionResult
 	Passed       bool
+
+	// groups and srvMgrs keep the cgroup and NFS-server cache managers
+	// reachable after the run, so snapshotState can capture them for
+	// warm-starting another run.
+	groups  map[string]*cgroup.Group
+	srvMgrs map[string]*core.Manager
 }
 
 // Report writes the deterministic run report: chaos log, assertion
@@ -213,9 +219,22 @@ func Run(d *Doc, opts RunOpts) (*Result, error) {
 		inj.RegisterCache(g.Name, grp.Manager())
 	}
 
+	res.groups = groups
+	res.srvMgrs = srvMgrs
+
 	if d.TraceMemS > 0 {
 		for _, hc := range d.Platform.Hosts {
 			plat.Hosts[hc.Name].EnableMemTrace(d.TraceMemS)
+		}
+	}
+
+	// Warm-start: restore a cache snapshot (from a file or a throwaway
+	// warmup run) into the still-empty managers, creating the backing files
+	// the cached blocks refer to. Runs before the main file setup so
+	// createInput tolerates files the warm state already placed.
+	if d.Warmup != nil {
+		if err := applyWarmup(d, sim, plat, groups, srvMgrs); err != nil {
+			return nil, err
 		}
 	}
 
@@ -435,6 +454,11 @@ func dirtyAssertHosts(d *Doc) []string {
 }
 
 func createInput(sim *engine.Simulation, part *storage.Partition, name string, size int64) error {
+	// A warm-start restore may have created this input already (at its
+	// warmed size); keep that copy.
+	if _, ok := part.Lookup(name); ok {
+		return sim.NS.Place(name, part)
+	}
 	if _, err := part.CreateSized(name, size); err != nil {
 		return fmt.Errorf("scenario: creating input %s: %w", name, err)
 	}

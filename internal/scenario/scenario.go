@@ -48,9 +48,26 @@ type Doc struct {
 	Mounts     []MountDoc     `json:"mounts,omitempty"`
 	Cgroups    []CgroupDoc    `json:"cgroups,omitempty"`
 	Files      []FileDoc      `json:"files,omitempty"`
+	Warmup     *WarmupDoc     `json:"warmup,omitempty"`
 	Workloads  []WorkloadDoc  `json:"workloads"`
 	Chaos      *ChaosDoc      `json:"chaos,omitempty"`
 	Assertions []AssertionDoc `json:"assertions,omitempty"`
+}
+
+// WarmupDoc warm-starts the run's caches before any main workload spawns.
+// Exactly one of the two forms is required: "snapshotFile" restores a cache
+// snapshot written by `pcsim -snapshot-out` (resolved relative to the
+// scenario file), while "workloads" runs the listed workloads in a separate
+// throwaway simulation of the same platform and carries its final cache
+// state over. Either way the restored block timestamps are rebased to the
+// main run's t=0 and the cache counters are reset, so assertions measure the
+// main run only. Backing files the warm cache refers to are created before
+// the main run's own file setup; workloads whose writes append to those
+// files see them at their warmed size (the nighres workflow reads fixed byte
+// counts and is unaffected; synthetic whole-file re-reads grow).
+type WarmupDoc struct {
+	SnapshotFile string        `json:"snapshotFile,omitempty"`
+	Workloads    []WorkloadDoc `json:"workloads,omitempty"`
 }
 
 // MountDoc mounts a server partition on a client host over a link, in the
@@ -262,6 +279,9 @@ func LoadReader(r io.Reader, baseDir string) (*Doc, error) {
 		}
 		d.Platform = cfg
 	}
+	if d.Warmup != nil && d.Warmup.SnapshotFile != "" && !filepath.IsAbs(d.Warmup.SnapshotFile) {
+		d.Warmup.SnapshotFile = filepath.Join(baseDir, d.Warmup.SnapshotFile)
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -388,43 +408,20 @@ func (d *Doc) Validate() error {
 	}
 	wlNames := map[string]bool{}
 	for _, w := range d.Workloads {
-		if w.Name == "" {
-			return fmt.Errorf("scenario: workload with empty name")
+		if err := validateWorkload(w, "workload", hosts, partOwner, mounted, groups, wlNames); err != nil {
+			return err
 		}
-		if wlNames[w.Name] {
-			return fmt.Errorf("scenario: duplicate workload %q", w.Name)
+	}
+
+	if wu := d.Warmup; wu != nil {
+		if (wu.SnapshotFile != "") == (len(wu.Workloads) > 0) {
+			return fmt.Errorf("scenario: %s: warmup needs exactly one of snapshotFile or workloads", d.Name)
 		}
-		wlNames[w.Name] = true
-		if !hosts[w.Host] {
-			return fmt.Errorf("scenario: workload %q: unknown host %q", w.Name, w.Host)
-		}
-		if _, ok := partOwner[w.Partition]; !ok {
-			return fmt.Errorf("scenario: workload %q: unknown partition %q", w.Name, w.Partition)
-		}
-		if partOwner[w.Partition] != w.Host && !mounted[w.Host+"/"+w.Partition] {
-			return fmt.Errorf("scenario: workload %q: partition %q is not local to %q and not mounted",
-				w.Name, w.Partition, w.Host)
-		}
-		switch w.Kind {
-		case "synthetic":
-			if n, err := units.ParseBytes(w.Size); err != nil || n <= 0 {
-				return fmt.Errorf("scenario: workload %q: synthetic needs a size", w.Name)
+		warmNames := map[string]bool{}
+		for _, w := range wu.Workloads {
+			if err := validateWorkload(w, "warmup workload", hosts, partOwner, mounted, groups, warmNames); err != nil {
+				return err
 			}
-		case "nighres":
-		default:
-			return fmt.Errorf("scenario: workload %q: unknown kind %q (want synthetic or nighres)", w.Name, w.Kind)
-		}
-		if w.Instances < 0 {
-			return fmt.Errorf("scenario: workload %q: negative instances", w.Name)
-		}
-		if w.CPUS < 0 {
-			return fmt.Errorf("scenario: workload %q: negative cpuS", w.Name)
-		}
-		if w.StartS < 0 {
-			return fmt.Errorf("scenario: workload %q: negative startS", w.Name)
-		}
-		if w.Cgroup != "" && !groups[w.Cgroup] {
-			return fmt.Errorf("scenario: workload %q: unknown cgroup %q", w.Name, w.Cgroup)
 		}
 	}
 
@@ -487,6 +484,51 @@ func (d *Doc) Validate() error {
 		default:
 			return fmt.Errorf("scenario: unknown assertion kind %q", a.Kind)
 		}
+	}
+	return nil
+}
+
+// validateWorkload checks one workload entry against the platform maps,
+// recording its name in seen for duplicate detection. where names the stanza
+// ("workload" or "warmup workload") in error messages.
+func validateWorkload(w WorkloadDoc, where string, hosts map[string]bool, partOwner map[string]string, mounted, groups, seen map[string]bool) error {
+	if w.Name == "" {
+		return fmt.Errorf("scenario: %s with empty name", where)
+	}
+	if seen[w.Name] {
+		return fmt.Errorf("scenario: duplicate %s %q", where, w.Name)
+	}
+	seen[w.Name] = true
+	if !hosts[w.Host] {
+		return fmt.Errorf("scenario: %s %q: unknown host %q", where, w.Name, w.Host)
+	}
+	if _, ok := partOwner[w.Partition]; !ok {
+		return fmt.Errorf("scenario: %s %q: unknown partition %q", where, w.Name, w.Partition)
+	}
+	if partOwner[w.Partition] != w.Host && !mounted[w.Host+"/"+w.Partition] {
+		return fmt.Errorf("scenario: %s %q: partition %q is not local to %q and not mounted",
+			where, w.Name, w.Partition, w.Host)
+	}
+	switch w.Kind {
+	case "synthetic":
+		if n, err := units.ParseBytes(w.Size); err != nil || n <= 0 {
+			return fmt.Errorf("scenario: %s %q: synthetic needs a size", where, w.Name)
+		}
+	case "nighres":
+	default:
+		return fmt.Errorf("scenario: %s %q: unknown kind %q (want synthetic or nighres)", where, w.Name, w.Kind)
+	}
+	if w.Instances < 0 {
+		return fmt.Errorf("scenario: %s %q: negative instances", where, w.Name)
+	}
+	if w.CPUS < 0 {
+		return fmt.Errorf("scenario: %s %q: negative cpuS", where, w.Name)
+	}
+	if w.StartS < 0 {
+		return fmt.Errorf("scenario: %s %q: negative startS", where, w.Name)
+	}
+	if w.Cgroup != "" && !groups[w.Cgroup] {
+		return fmt.Errorf("scenario: %s %q: unknown cgroup %q", where, w.Name, w.Cgroup)
 	}
 	return nil
 }

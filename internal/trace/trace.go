@@ -212,6 +212,46 @@ func (l *OpLog) Names() []string {
 	return out
 }
 
+// Fingerprint hashes the access pattern of the ops in log positions
+// [from, to): names, kinds, byte counts and their order, deliberately
+// excluding timestamps (two iterations with identical operation sequences
+// but slightly jittered timings fingerprint equal — the phase detector
+// compares durations separately, under a tolerance). FNV-1a over the
+// serialized fields; to is clamped to the log length.
+func (l *OpLog) Fingerprint(from, to int) uint64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(l.Ops) {
+		to = len(l.Ops)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+		mix(0)
+	}
+	mixInt := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v >> (8 * i)))
+		}
+	}
+	for i := from; i < to; i++ {
+		o := &l.Ops[i]
+		mixStr(o.Name)
+		mixStr(o.Kind)
+		mixInt(uint64(o.Instance))
+		mixInt(uint64(o.Bytes))
+	}
+	return h
+}
+
 // WriteCSV emits "instance,name,kind,start,end,bytes" rows.
 func (l *OpLog) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "instance,name,kind,start,end,bytes"); err != nil {

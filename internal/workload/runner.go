@@ -41,5 +41,15 @@ func (r *EngineRunner) ReleaseTaskMemory() { r.App.ReleaseTaskMemory() }
 // SnapshotCache implements Runner.
 func (r *EngineRunner) SnapshotCache(label string) { r.App.SnapshotCache(label) }
 
+// DeleteFile implements Runner.
+func (r *EngineRunner) DeleteFile(file string) error { return r.App.DeleteFile(file) }
+
+// IterationDone implements IterationObserver: the engine fast-forwards
+// steady iterations when EnableFastForward was armed, and returns 0 (a pure
+// no-op) otherwise.
+func (r *EngineRunner) IterationDone(done, total int) int {
+	return r.App.IterationDone(done, total)
+}
+
 // Compile-time check that the pysim prototype satisfies Runner directly.
 var _ Runner = (*pysim.Sim)(nil)

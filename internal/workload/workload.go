@@ -27,6 +27,19 @@ type Runner interface {
 	ReleaseTaskMemory()
 	// SnapshotCache labels current per-file cache contents (Fig 4c hooks).
 	SnapshotCache(label string)
+	// DeleteFile removes the named file and invalidates its cached state
+	// (iterative workloads overwrite scratch outputs each iteration).
+	DeleteFile(file string) error
+}
+
+// IterationObserver is implemented by runners whose substrate can
+// fast-forward steady-state iterations (EngineRunner over an engine with
+// EnableFastForward armed). IterationDone reports that `done` of `total`
+// iterations completed and returns how many further iterations the
+// substrate skipped analytically; the workload loop must advance past them.
+// Runners without the capability simply don't implement it.
+type IterationObserver interface {
+	IterationDone(done, total int) int
 }
 
 // TableI maps synthetic input sizes to measured CPU times (paper Table I).
@@ -105,6 +118,62 @@ func RunSynthetic(r Runner, spec SyntheticSpec) error {
 // execution order (the Fig 4a x-axis).
 func SyntheticOps() []string {
 	return []string{"Read 1", "Write 1", "Read 2", "Write 2", "Read 3", "Write 3"}
+}
+
+// IterativeSpec parameterizes the repeated-iteration pipeline: each
+// iteration reads the whole input file, computes, and (re)writes a scratch
+// output of equal significance — the shape of iterative analysis pipelines
+// (e.g. fixed-point solvers re-reading their working set every sweep) whose
+// cache behavior converges after a few iterations. The steady prefix is the
+// fast-forward target: with phase detection armed, the engine simulates
+// iterations until K match and skips the rest analytically.
+type IterativeSpec struct {
+	// Iterations is the total iteration count N.
+	Iterations int
+	// Size is the bytes read from Input and written to Output per iteration.
+	Size int64
+	// CPU is the injected compute seconds per iteration.
+	CPU float64
+	// Input names the pre-existing input file; Output the per-iteration
+	// scratch output, deleted before each rewrite so cache state is periodic.
+	Input, Output string
+}
+
+// IterativeOps lists the iterative pipeline's per-iteration op labels.
+func IterativeOps() []string { return []string{"IterRead", "IterCompute", "IterWrite"} }
+
+// RunIterative executes the repeated-iteration pipeline on r. When r
+// implements IterationObserver (the engine with fast-forward armed), the
+// loop advances past analytically skipped iterations; otherwise every
+// iteration is simulated.
+func RunIterative(r Runner, spec IterativeSpec) error {
+	if spec.Iterations <= 0 {
+		return fmt.Errorf("workload: iterative: Iterations must be positive")
+	}
+	obs, _ := r.(IterationObserver)
+	for i := 0; i < spec.Iterations; {
+		if err := r.ReadFile(spec.Input, "IterRead"); err != nil {
+			return fmt.Errorf("workload: iterative read: %w", err)
+		}
+		r.Compute(spec.CPU, "IterCompute")
+		if i > 0 {
+			// Overwrite semantics: drop the previous iteration's output (and
+			// its still-dirty cache blocks) before rewriting, so every
+			// iteration leaves the same cache state behind.
+			if err := r.DeleteFile(spec.Output); err != nil {
+				return fmt.Errorf("workload: iterative delete: %w", err)
+			}
+		}
+		if err := r.WriteFile(spec.Output, spec.Size, "IterWrite"); err != nil {
+			return fmt.Errorf("workload: iterative write: %w", err)
+		}
+		r.ReleaseTaskMemory()
+		i++
+		if obs != nil {
+			i += obs.IterationDone(i, spec.Iterations)
+		}
+	}
+	return nil
 }
 
 // NighresStep is one step of the cortical reconstruction workflow

@@ -34,6 +34,10 @@ func (r *scriptRunner) ReleaseTaskMemory() {
 func (r *scriptRunner) SnapshotCache(label string) {
 	r.calls = append(r.calls, "snapshot "+label)
 }
+func (r *scriptRunner) DeleteFile(file string) error {
+	r.calls = append(r.calls, "delete "+file)
+	return nil
+}
 func (r *scriptRunner) record(s, label string) error {
 	r.calls = append(r.calls, s)
 	if r.failAt == label {
