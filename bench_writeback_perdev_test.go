@@ -1,0 +1,114 @@
+// BenchmarkWritebackPerDevice*: the per-device writeback domain split under
+// a mixed-speed flush storm, once per registered writeback policy. Watched:
+//
+//   - the per-domain selection structures (each domain owns its expiry queue
+//     and WritebackPolicy instance over shared lists) must keep per-block
+//     flush cost in the same complexity class as the single-domain paths —
+//     domain filtering may not degenerate into cache walks;
+//   - domain-targeted drains (FlushDomain / FlushExpiredDomain) on one
+//     device must stay independent of the other device's backlog depth.
+//
+// CI runs these with -benchtime=1x as a smoke test (the BenchmarkWriteback
+// prefix is already in the bench-smoke regex); use the default benchtime for
+// real numbers (BENCH_writeback_device.json records the baseline).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// newPerDeviceBenchManager builds a manager split into an NVMe-class and an
+// HDD-class domain (20:1 bandwidth share) plus the default backstop. Dirty
+// files d<j> alternate devices by parity; the fragmented clean cache's f<j>
+// files resolve to the backstop.
+func newPerDeviceBenchManager(tb testing.TB, wb string, totalMem int64) *core.Manager {
+	m := newWritebackBenchManager(tb, wb, totalMem)
+	err := m.ConfigureDomains([]core.DomainConfig{
+		{Dev: "nvme0", WriteBW: 2000},
+		{Dev: "hdd0", WriteBW: 100},
+	}, func(file string) string {
+		var j int
+		if _, err := fmt.Sscanf(file, "d%d", &j); err != nil {
+			return ""
+		}
+		if j%2 == 0 {
+			return "nvme0"
+		}
+		return "hdd0"
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkWritebackPerDevice measures per-domain drains of a mixed-speed
+// flush storm: the BenchmarkWritebackFlushStorm backlog split across an
+// NVMe and an HDD domain behind a 100k-block clean cache, drained one
+// domain at a time the way the per-device flusher procs do.
+func BenchmarkWritebackPerDevice(b *testing.B) {
+	for _, wb := range core.WritebackPolicyNames() {
+		b.Run(wb, func(b *testing.B) {
+			c := &benchCaller{}
+			b.ReportAllocs()
+			half := int64(coreBenchDirtyCnt) * coreBenchBlock / 2
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := newPerDeviceBenchManager(b, wb, 1<<42)
+				now := buildFragmentedCache(b, m, c)
+				for j := 0; j < coreBenchDirtyCnt; j++ {
+					c.now = now + float64(j)
+					if d := m.WriteToCache(c, fmt.Sprintf("d%d", j%16), coreBenchBlock); d != 0 {
+						b.Fatalf("WriteToCache deficit %d", d)
+					}
+				}
+				b.StartTimer()
+				// Drain the fast domain fully, then the slow one — each
+				// selection must see only its own domain's backlog.
+				if got := m.FlushDomain(c, 1, half); got != half {
+					b.Fatalf("nvme domain flushed %d, want %d", got, half)
+				}
+				if got := m.FlushDomain(c, 2, half); got != half {
+					b.Fatalf("hdd domain flushed %d, want %d", got, half)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWritebackPerDeviceExpiry measures the per-domain periodic
+// flusher body: FlushExpiredDomain on each device's share of an expired
+// mixed-speed backlog, plus the steady-state nothing-expired calls.
+func BenchmarkWritebackPerDeviceExpiry(b *testing.B) {
+	for _, wb := range core.WritebackPolicyNames() {
+		b.Run(wb, func(b *testing.B) {
+			c := &benchCaller{}
+			b.ReportAllocs()
+			half := int64(coreBenchDirtyCnt) * coreBenchBlock / 2
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := newPerDeviceBenchManager(b, wb, 1<<42)
+				now := buildFragmentedCache(b, m, c)
+				for j := 0; j < coreBenchDirtyCnt; j++ {
+					c.now = now + float64(j)
+					if d := m.WriteToCache(c, fmt.Sprintf("d%d", j%16), coreBenchBlock); d != 0 {
+						b.Fatalf("WriteToCache deficit %d", d)
+					}
+				}
+				c.now += m.Config().DirtyExpire + float64(coreBenchDirtyCnt) + 1
+				b.StartTimer()
+				for dom := 1; dom <= 2; dom++ {
+					if got := m.FlushExpiredDomain(c, dom); got != half {
+						b.Fatalf("domain %d expired flush %d, want %d", dom, got, half)
+					}
+					if got := m.FlushExpiredDomain(c, dom); got != 0 {
+						b.Fatalf("domain %d steady-state expired flush %d", dom, got)
+					}
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@
 //	experiments -fig8 -ablations
 //	experiments -policies            # cache-policy ablation (lru/clock/fifo/lfu)
 //	experiments -writebacks          # writeback-policy ablation (list-order/oldest-first/file-rr/proportional)
+//	experiments -devices             # per-device writeback ablation (mixed-speed host vs CAWL model)
 //	experiments -ffwd                # fast-forward speedup/error ablation (exact vs phase-skipped)
 //	experiments -worker              # serve cells over stdin/stdout (spawned via -worker-cmd)
 package main
@@ -57,6 +58,7 @@ func Main(args []string, stdout io.Writer) int {
 		ablations = fs.Bool("ablations", false, "design-choice ablations")
 		policies  = fs.Bool("policies", false, "cache-policy ablation across registered policies (not part of -all)")
 		wbacks    = fs.Bool("writebacks", false, "writeback-policy ablation across registered writeback policies (not part of -all)")
+		devs      = fs.Bool("devices", false, "per-device writeback ablation on a mixed-speed NVMe+HDD host vs the CAWL write cost model (not part of -all)")
 		ffwd      = fs.Bool("ffwd", false, "fast-forward speedup/error ablation on repeated-iteration pipelines (not part of -all)")
 		tables    = fs.Bool("tables", false, "print Tables I-III")
 		profiles  = fs.Bool("profiles", false, "print Fig 4b memory profiles (with -exp1)")
@@ -82,7 +84,7 @@ func Main(args []string, stdout io.Writer) int {
 		}
 		return 0
 	}
-	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks || *ffwd) {
+	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks || *devs || *ffwd) {
 		*all = true
 	}
 	if *all {
@@ -233,6 +235,22 @@ func Main(args []string, stdout io.Writer) int {
 						{Name: "writeback_ablation.csv", Write: res.WriteCSV},
 						{Name: "writeback_hitratio.csv", Write: res.WriteSeriesCSV},
 					},
+				}, nil
+			},
+		})
+	}
+	if *devs {
+		sections = append(sections, exp.Section{
+			Key:   "devices",
+			Specs: exp.DevicesCells("devices", *quick),
+			Merge: func(ps []grid.Payload) (*exp.Output, error) {
+				res, err := exp.MergeDevices(ps)
+				if err != nil {
+					return nil, err
+				}
+				return &exp.Output{
+					Render: renderThenBlank(res.Render),
+					CSVs:   []exp.CSV{{Name: "device_ablation.csv", Write: res.WriteCSV}},
 				}, nil
 			},
 		})

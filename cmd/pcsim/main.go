@@ -13,6 +13,18 @@
 //	pcsim -platform cluster.json -workflow nighres.json
 //	pcsim -scenario testdata/scenarios/nfs-server-restart.json
 //	pcsim -scenario testdata/scenarios/random-chaos.json -chaos-seed 7
+//	pcsim -scenario testdata/scenarios/mixed-disk-slowdown.json
+//
+// Platform JSON hosts accept "writebackPolicy" and "dirtyBackgroundRatio"
+// (overridden host-wide by -writeback and -dirty-background), and
+// "perDeviceWriteback": true, which gives each of the host's disks its own
+// writeback domain — per-device dirty thresholds scaled by bandwidth
+// share, a flusher process per device with writer-driven wakeups, and
+// per-device writer-throttle accounting. Per-disk "dirtyRatio" /
+// "dirtyBackgroundRatio" override a single domain's scaled thresholds
+// (they require the host to set perDeviceWriteback). Scenario documents
+// can bound a device's writer stalls with the "max-device-throttle"
+// assertion; mixed-disk-slowdown.json is the worked example.
 //
 // The repeated-iteration pipeline (-iterations) reads one input file,
 // computes, and rewrites a scratch output every iteration; once K

@@ -1,0 +1,67 @@
+// Package cawl implements the cache-aware write performance model of
+// "CAWL: A Cache-aware Write Performance Model of Linux Systems"
+// (Gholami & Schintke, PAPERS.md): the cost of a buffered write is not one
+// device-speed transfer but two phases — a cache-absorbing burst, where
+// data lands in the page cache at memory speed while the flusher drains
+// behind it, and a device-limited steady state once the dirty threshold is
+// reached and the writer is throttled to the backing device's bandwidth.
+//
+// The experiments' per-device ablation (`experiments -devices`) uses the
+// model as the analytic reference for the simulator's per-domain writeback:
+// each device's predicted write time comes from its own bandwidth and its
+// own domain's dirty threshold, and the reported error measures how closely
+// the simulated throttle/flush behavior tracks the closed form.
+package cawl
+
+// Model is one device's calibrated write cost model.
+type Model struct {
+	// MemBW is the rate at which the page cache absorbs writes (the host's
+	// memory write bandwidth), in bytes per second.
+	MemBW float64
+	// DevBW is the backing device's write bandwidth in bytes per second —
+	// the steady-state rate once the writer is throttled.
+	DevBW float64
+	// DirtyLimit is the dirty data the device's writeback domain may hold
+	// before writers are throttled (the domain's dirty threshold), in bytes.
+	DirtyLimit int64
+}
+
+// BurstBytes returns the volume the cache absorbs at memory speed before
+// throttling starts. While the writer dirties at MemBW the flusher drains
+// at DevBW, so dirty data grows at MemBW−DevBW and reaches DirtyLimit after
+// DirtyLimit/(MemBW−DevBW) seconds — by which point the writer has pushed
+// DirtyLimit·MemBW/(MemBW−DevBW) bytes. A device at least as fast as
+// memory never throttles (the burst is unbounded, returned as −1).
+func (m Model) BurstBytes() int64 {
+	if m.DevBW >= m.MemBW {
+		return -1
+	}
+	if m.DirtyLimit <= 0 {
+		return 0
+	}
+	return int64(float64(m.DirtyLimit) * m.MemBW / (m.MemBW - m.DevBW))
+}
+
+// WriteTime returns the modeled wall-clock seconds to write n bytes:
+// burst bytes at memory speed, the remainder at device speed.
+func (m Model) WriteTime(n int64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	burst := m.BurstBytes()
+	if burst < 0 || n <= burst {
+		return float64(n) / m.MemBW
+	}
+	return float64(burst)/m.MemBW + float64(n-burst)/m.DevBW
+}
+
+// SteadyBW returns the effective long-run write bandwidth for n bytes —
+// n over WriteTime — which interpolates from MemBW (small, cache-absorbed
+// writes) down toward DevBW (large, device-limited writes).
+func (m Model) SteadyBW(n int64) float64 {
+	t := m.WriteTime(n)
+	if t <= 0 {
+		return m.MemBW
+	}
+	return float64(n) / t
+}

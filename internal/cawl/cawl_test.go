@@ -1,0 +1,54 @@
+package cawl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWriteTimePhases(t *testing.T) {
+	m := Model{MemBW: 1000, DevBW: 100, DirtyLimit: 900}
+	// Dirty grows at 900 B/s; the threshold is reached after 1 s, by which
+	// point the writer has pushed 1000 bytes.
+	if got := m.BurstBytes(); got != 1000 {
+		t.Fatalf("BurstBytes = %d, want 1000", got)
+	}
+	// Entirely cache-absorbed: memory speed.
+	if got, want := m.WriteTime(500), 0.5; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WriteTime(500) = %v, want %v", got, want)
+	}
+	// Past the burst: 1000 bytes at memory speed, 1000 at device speed.
+	if got, want := m.WriteTime(2000), 1.0+10.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("WriteTime(2000) = %v, want %v", got, want)
+	}
+	// Effective bandwidth interpolates between the phases.
+	if bw := m.SteadyBW(2000); bw >= m.MemBW || bw <= m.DevBW {
+		t.Fatalf("SteadyBW(2000) = %v, want within (%v, %v)", bw, m.DevBW, m.MemBW)
+	}
+}
+
+func TestWriteTimeEdgeCases(t *testing.T) {
+	fast := Model{MemBW: 1000, DevBW: 1000, DirtyLimit: 10}
+	if got := fast.BurstBytes(); got != -1 {
+		t.Fatalf("device as fast as memory: BurstBytes = %d, want -1", got)
+	}
+	if got, want := fast.WriteTime(4000), 4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("never-throttled WriteTime = %v, want %v", got, want)
+	}
+	noCache := Model{MemBW: 1000, DevBW: 100, DirtyLimit: 0}
+	if got, want := noCache.WriteTime(1000), 10.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("no-cache WriteTime = %v, want %v", got, want)
+	}
+	if got := noCache.WriteTime(0); got != 0 {
+		t.Fatalf("WriteTime(0) = %v, want 0", got)
+	}
+	// WriteTime is monotone in n across the phase boundary.
+	m := Model{MemBW: 1000, DevBW: 250, DirtyLimit: 750}
+	prev := 0.0
+	for n := int64(0); n <= 4000; n += 100 {
+		cur := m.WriteTime(n)
+		if cur < prev {
+			t.Fatalf("WriteTime not monotone at n=%d: %v < %v", n, cur, prev)
+		}
+		prev = cur
+	}
+}

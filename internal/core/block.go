@@ -23,6 +23,12 @@ type Block struct {
 	LastAccess float64 // governs LRU ordering
 	Dirty      bool
 
+	// dom is the writeback domain (backing device) the block's file maps
+	// to; 0 — the default domain — unless the Manager has per-device
+	// writeback domains configured. Every block of one file carries the
+	// same dom, so splits and coalescing never cross domains.
+	dom int
+
 	// Policy metadata, maintained by the owning Manager's Policy and ignored
 	// by the others (zero for the default LRU): CLOCK's reference bit and
 	// the segmented-LFU frequency counter with its lazy-decay epoch.
@@ -56,6 +62,7 @@ func (b *Block) split(n int64) *Block {
 		Entry:      b.Entry,
 		LastAccess: b.LastAccess,
 		Dirty:      b.Dirty,
+		dom:        b.dom,
 		ref:        b.ref,
 		freq:       b.freq,
 		freqEpoch:  b.freqEpoch,

@@ -39,6 +39,18 @@
 // back above the background threshold (0 — the default — keeps the paper's
 // single-threshold model).
 //
+// Per-device writeback domains (ConfigureDomains) split the manager's
+// single dirty domain into one domain per backing device plus the
+// unconfigured backstop (domain 0), the shape of Linux's per-bdi writeback.
+// Each domain owns a WritebackPolicy instance over the shared lists, its
+// own dirty/flushed/throttle counters, and bandwidth-share-scaled dirty and
+// background thresholds; FlushDomain / FlushExpiredDomain /
+// FlushBackgroundDomain are the per-domain flusher bodies
+// (RunDomainFlusher), and SetDomainWake installs the writer-driven wakeup a
+// write crossing the domain's background threshold fires. An unconfigured
+// manager has exactly one domain and every per-domain path degenerates to
+// the single-domain code — byte-identical to the pre-domain implementation.
+//
 // # Complexity of the Manager operations
 //
 // The Memory Manager is the hot path of every simulation, so the lists are
@@ -92,6 +104,23 @@
 //	                               dirty sublists, worst case O(d)
 //	Manager.FlushBackground        O(1) when disabled or under threshold,
 //	                               else the Flush costs above per block
+//
+// The per-device domain split (m = configured domains, a small constant)
+// keeps every per-block cost in the same class — domain selection never
+// degenerates into cache walks:
+//
+//	Manager.domainOf               O(1) resolve call + domain-index lookup
+//	Manager.DomainDirty/Stats      O(1) per-domain counters (O(m) for the
+//	                               full DomainStats slice)
+//	Manager.FlushDomain            the domain's own NextDirty peek per
+//	                               block — same costs as Flush, filtered
+//	                               structurally (each domain's policy
+//	                               indexes only its own dirty blocks)
+//	Manager.Flush (cross-domain)   O(m) oldest-candidate scan per block;
+//	                               one domain degenerates to a direct peek
+//	Manager.FlushExpiredDomain     O(1) idle check via the domain policy's
+//	                               expiry view, O(d_dom) worst-case walk
+//	writer wakeup (WriteToCache)   O(1) threshold compare + signal hook
 //
 // The snapshot/restore seam (Manager.SnapshotState / RestoreState /
 // ShiftTimes, the substrate of warm-start scenarios and phase fast-forward)

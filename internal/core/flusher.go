@@ -27,3 +27,24 @@ func RunPeriodicFlusher(c Caller, m *Manager, sleep func(seconds float64), hostO
 		}
 	}
 }
+
+// RunDomainFlusher is RunPeriodicFlusher for one writeback domain of a
+// per-device manager — the body of a per-bdi flusher thread. `wait` suspends
+// the flusher for at most the given seconds; unlike RunPeriodicFlusher's
+// plain sleep it may return early, which is how writer-driven wakeups reach
+// the loop: the engine passes a DES Signal's WaitTimeout and installs the
+// signal's Broadcast as the domain's wake hook (Manager.SetDomainWake), so a
+// write crossing the domain's background threshold starts the next flush
+// pass immediately instead of after the remaining poll interval.
+func RunDomainFlusher(c Caller, m *Manager, dom int, wait func(seconds float64), hostOn func() bool) {
+	interval := m.Config().FlushInterval
+	for hostOn() {
+		start := c.Now()
+		m.FlushExpiredDomain(c, dom)
+		m.FlushBackgroundDomain(c, dom)
+		elapsed := c.Now() - start
+		if elapsed < interval {
+			wait(interval - elapsed)
+		}
+	}
+}

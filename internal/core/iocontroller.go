@@ -176,8 +176,19 @@ func (io *IOController) WriteFile(c Caller, file string, size int64) error {
 func (io *IOController) WriteChunk(c Caller, file string, chunkSize int64) error {
 	m := io.m
 	var memAmt int64
+	dom := 0
 	remainDirty := m.DirtyThreshold() - m.Dirty() // line 5
-	if remainDirty > 0 {                          // lines 6-10
+	if m.PerDevice() {
+		// Per-device writeback: the writer is also limited by its own
+		// device's dirty threshold (the global pair stays the backstop, as
+		// in Linux), so a slow device's backlog cannot consume a fast
+		// device's headroom — and vice versa.
+		dom = m.domainOf(file)
+		if gap := m.DomainDirtyThreshold(dom) - m.DomainDirty(dom); gap < remainDirty {
+			remainDirty = gap
+		}
+	}
+	if remainDirty > 0 { // lines 6-10
 		want := chunkSize
 		if remainDirty < want {
 			want = remainDirty
@@ -198,7 +209,18 @@ func (io *IOController) WriteChunk(c Caller, file string, chunkSize int64) error
 	remaining := chunkSize - memAmt // line 11
 	for remaining > 0 {             // lines 12-18
 		throttleStart := c.Now()
-		flushed := m.Flush(c, chunkSize-memAmt)
+		var flushed int64
+		if m.PerDevice() {
+			// balance_dirty_pages writes back the writer's own bdi first;
+			// the cross-domain pass is the backstop when the writer's
+			// domain holds nothing dirty.
+			flushed = m.FlushDomain(c, dom, chunkSize-memAmt)
+			if flushed == 0 {
+				flushed = m.Flush(c, chunkSize-memAmt)
+			}
+		} else {
+			flushed = m.Flush(c, chunkSize-memAmt)
+		}
 		evicted := m.Evict(chunkSize-memAmt-m.Free(), "")
 		// The writer is over the dirty threshold and just waited for
 		// synchronous writeback — the balance_dirty_pages stall the
@@ -206,7 +228,7 @@ func (io *IOController) WriteChunk(c Caller, file string, chunkSize int64) error
 		// only (the remainder's memory copy happens under the threshold
 		// too, uncounted), accumulated per iteration so stalls cut short by
 		// ErrOutOfMemory still register.
-		m.addThrottled(c.Now() - throttleStart)
+		m.addThrottled(dom, c.Now()-throttleStart)
 		toCache := m.Free()
 		if remaining < toCache {
 			toCache = remaining

@@ -6,16 +6,20 @@ package core
 // Besides the main links the list maintains two secondary index structures,
 // kept consistent by every mutating operation:
 //
-//   - the dirty sublist (dhead/dtail through Block.dprev/dnext): the list's
-//     dirty blocks threaded in list order, making "least recently used dirty
-//     block" an O(1) front peek and dirty-only walks proportional to the
-//     number of dirty blocks;
+//   - per-domain dirty sublists (dsegs through Block.dprev/dnext): the
+//     list's dirty blocks of each writeback domain threaded in list order,
+//     making "least recently used dirty block of a domain" an O(1) front
+//     peek and dirty-only walks proportional to the number of dirty blocks.
+//     Managers without per-device writeback domains keep every block in
+//     domain 0, where the segment is exactly the classic whole-list dirty
+//     sublist;
 //   - per-file chains (files map through Block.fprev/fnext): each file's
 //     blocks threaded in list order with per-file byte/dirty totals, making
 //     single-file scans (cached reads, invalidation, eviction exclusion
 //     accounting) proportional to that file's block count.
 //
-// Byte totals (overall, dirty, and per file) are maintained incrementally.
+// Byte totals (overall, dirty — aggregate and per domain — and per file)
+// are maintained incrementally.
 type List struct {
 	name  string
 	head  *Block
@@ -24,8 +28,15 @@ type List struct {
 	bytes int64
 	dirty int64
 
-	dhead, dtail *Block
-	files        map[string]*fileChain
+	dsegs []dirtySeg
+	files map[string]*fileChain
+}
+
+// dirtySeg is one writeback domain's dirty sublist within the list: chain
+// endpoints (in list order) and the domain's dirty byte total.
+type dirtySeg struct {
+	head, tail *Block
+	bytes      int64
 }
 
 // fileChain indexes one file's blocks within a list: the chain endpoints (in
@@ -59,8 +70,36 @@ func (l *List) Front() *Block { return l.head }
 // Back returns the most recently used block (nil when empty).
 func (l *List) Back() *Block { return l.tail }
 
-// FrontDirty returns the least recently used dirty block (nil when none).
-func (l *List) FrontDirty() *Block { return l.dhead }
+// FrontDirty returns the least recently used dirty block of the default
+// writeback domain (nil when none) — the whole list's dirty front on
+// managers without per-device domains.
+func (l *List) FrontDirty() *Block { return l.FrontDirtyDomain(0) }
+
+// FrontDirtyDomain returns the least recently used dirty block of one
+// writeback domain (nil when none).
+func (l *List) FrontDirtyDomain(dom int) *Block {
+	if dom < len(l.dsegs) {
+		return l.dsegs[dom].head
+	}
+	return nil
+}
+
+// DomainDirtyBytes returns the dirty bytes of one writeback domain held by
+// the list.
+func (l *List) DomainDirtyBytes(dom int) int64 {
+	if dom < len(l.dsegs) {
+		return l.dsegs[dom].bytes
+	}
+	return 0
+}
+
+// seg returns the (grown-on-demand) dirty segment for a domain.
+func (l *List) seg(dom int) *dirtySeg {
+	for dom >= len(l.dsegs) {
+		l.dsegs = append(l.dsegs, dirtySeg{})
+	}
+	return &l.dsegs[dom]
+}
 
 // FileBytes returns the bytes of file held by the list.
 func (l *List) FileBytes(file string) int64 {
@@ -130,7 +169,7 @@ func (l *List) PushBack(b *Block) {
 	}
 	l.tail = b
 	if b.Dirty {
-		l.dirtyLinkAfter(b, l.dtail)
+		l.dirtyLinkAfter(b, l.seg(b.dom).tail)
 	}
 	fc := l.chain(b.File)
 	l.fileLinkAfter(fc, b, fc.tail)
@@ -157,7 +196,7 @@ func (l *List) restoreAppend(b *Block) {
 	}
 	l.tail = b
 	if b.Dirty {
-		l.dirtyLinkAfter(b, l.dtail)
+		l.dirtyLinkAfter(b, l.seg(b.dom).tail)
 	}
 	fc := l.chain(b.File)
 	l.fileLinkAfter(fc, b, fc.tail)
@@ -201,9 +240,9 @@ func (l *List) InsertSorted(b *Block) {
 	}
 	pos.prev = b
 	if b.Dirty {
-		// The dirty sublist is in list order, so the same access-time
+		// The dirty sublists are in list order, so the same access-time
 		// boundary search finds the same position the main list got.
-		l.dirtyLinkAfter(b, l.dirtyPredecessor(b.LastAccess))
+		l.dirtyLinkAfter(b, l.dirtyPredecessor(b.dom, b.LastAccess))
 	}
 	fc := l.chain(b.File)
 	l.fileLinkAfter(fc, b, filePredecessor(fc, b.LastAccess))
@@ -227,9 +266,10 @@ func (l *List) accessPredecessor(access float64) *Block {
 	}
 }
 
-// dirtyPredecessor is accessPredecessor over the dirty sublist.
-func (l *List) dirtyPredecessor(access float64) *Block {
-	f, t := l.dhead, l.dtail
+// dirtyPredecessor is accessPredecessor over one domain's dirty sublist.
+func (l *List) dirtyPredecessor(dom int, access float64) *Block {
+	s := l.seg(dom)
+	f, t := s.head, s.tail
 	for {
 		if t == nil || t.LastAccess <= access {
 			return t
@@ -322,33 +362,36 @@ func (l *List) chain(file string) *fileChain {
 	return fc
 }
 
-// dirtyLinkAfter inserts b into the dirty sublist after dp (nil: at front).
+// dirtyLinkAfter inserts b into its domain's dirty sublist after dp (nil:
+// at front). dp, when non-nil, must belong to b's domain.
 func (l *List) dirtyLinkAfter(b, dp *Block) {
+	s := l.seg(b.dom)
 	b.dprev = dp
 	if dp != nil {
 		b.dnext = dp.dnext
 		dp.dnext = b
 	} else {
-		b.dnext = l.dhead
-		l.dhead = b
+		b.dnext = s.head
+		s.head = b
 	}
 	if b.dnext != nil {
 		b.dnext.dprev = b
 	} else {
-		l.dtail = b
+		s.tail = b
 	}
 }
 
 func (l *List) dirtyUnlink(b *Block) {
+	s := l.seg(b.dom)
 	if b.dprev != nil {
 		b.dprev.dnext = b.dnext
 	} else {
-		l.dhead = b.dnext
+		s.head = b.dnext
 	}
 	if b.dnext != nil {
 		b.dnext.dprev = b.dprev
 	} else {
-		l.dtail = b.dprev
+		s.tail = b.dprev
 	}
 	b.dprev, b.dnext = nil, nil
 }
@@ -392,6 +435,7 @@ func (l *List) account(b *Block, sign int64) {
 	fc.bytes += sign * b.Size
 	if b.Dirty {
 		l.dirty += sign * b.Size
+		l.seg(b.dom).bytes += sign * b.Size
 		fc.dirty += sign * b.Size
 	}
 	if fc.head == nil && fc.bytes == 0 {
@@ -408,10 +452,11 @@ func (l *List) markClean(b *Block) {
 		panic("core: markClean on block from wrong list")
 	}
 	if b.Dirty {
+		l.dirtyUnlink(b)
 		b.Dirty = false
 		l.dirty -= b.Size
+		l.seg(b.dom).bytes -= b.Size
 		l.files[b.File].dirty -= b.Size
-		l.dirtyUnlink(b)
 	}
 }
 
@@ -426,6 +471,7 @@ func (l *List) resize(b *Block, newSize int64) {
 	l.files[b.File].bytes += delta
 	if b.Dirty {
 		l.dirty += delta
+		l.seg(b.dom).bytes += delta
 		l.files[b.File].dirty += delta
 	}
 	b.Size = newSize

@@ -99,21 +99,36 @@ func (c Config) Validate() error {
 //
 // Beyond the lists' own indexes (dirty sublists, per-file chains), the
 // manager threads every dirty block of every policy list into an expiry
-// queue ordered by Entry time (eqHead/eqTail through Block.eprev/enext).
-// Entry times are assigned once, at block creation, from the monotonic
-// simulated clock and survive list moves, demotions and splits unchanged, so
-// the queue is maintained with O(1) link operations — and its head answers
-// "is anything expired?" in O(1), the common no-op case of the periodic
-// flusher.
+// queue ordered by Entry time (through Block.eprev/enext). Entry times are
+// assigned once, at block creation, from the monotonic simulated clock and
+// survive list moves, demotions and splits unchanged, so the queue is
+// maintained with O(1) link operations — and its head answers "is anything
+// expired?" in O(1), the common no-op case of the periodic flusher.
+//
+// Dirty bookkeeping is organized in writeback domains, one per backing
+// device (bdi), mirroring Linux's per-bdi writeback: each domain owns its
+// own expiry queue, its own WritebackPolicy instance, its own effective
+// dirty/background thresholds (a write-bandwidth-proportional share of the
+// global pair, or explicit per-device overrides), per-domain flush/throttle
+// counters, and an optional flusher wake hook fired when a write pushes the
+// domain past its background threshold. Managers without ConfigureDomains
+// run exactly one domain — the pre-domain global model, byte-identical to
+// it — and every block carries domain 0.
 type Manager struct {
 	cfg     Config
 	pol     Policy
-	wb      WritebackPolicy
 	anon    int64
 	cached  map[string]int64 // per-file cached bytes
 	writing map[string]int   // open-for-write refcounts (extension heuristic)
 
-	eqHead, eqTail *Block // expiry queue: all dirty blocks, Entry-ordered
+	// domains holds the writeback domains. domains[0] is the default
+	// domain: the only one on unconfigured managers, and the backstop for
+	// files that resolve to no local device (remote mounts) on per-device
+	// managers. resolve maps a file to its backing device name ("" →
+	// domain 0); domIndex maps device names to domain indexes.
+	domains  []*wbDomain
+	resolve  func(file string) string
+	domIndex map[string]int
 
 	// compatActive backs Active() for single-list policies (always empty).
 	compatActive *List
@@ -132,6 +147,33 @@ type Manager struct {
 	// ForcedEvictions counts safety-valve direct reclaims (see UseAnon);
 	// zero in well-formed workloads.
 	ForcedEvictions int64
+}
+
+// wbDomain is one writeback domain: the per-device slice of the manager's
+// dirty bookkeeping.
+type wbDomain struct {
+	dev string // backing device name; "" for the default domain
+	wb  WritebackPolicy
+
+	eqHead, eqTail *Block // expiry queue: the domain's dirty blocks, Entry-ordered
+
+	// share is the domain's fraction of the global thresholds — its write
+	// bandwidth over the summed write bandwidth of all domained devices
+	// (the deterministic stand-in for Linux's per-bdi writeout fraction).
+	// ratio/bgRatio, when positive, override the share-scaled global
+	// ratios (per-disk vm.dirty_ratio / vm.dirty_background_ratio knobs).
+	share          float64
+	ratio, bgRatio float64
+
+	// flushed / throttled are the per-device observables: bytes written
+	// back from this domain and writer-throttle seconds attributed to it.
+	flushed   int64
+	throttled float64
+
+	// wake, when set, kicks the domain's flusher (writer-driven wakeup):
+	// WriteToCache fires it when a write pushes the domain past its
+	// background threshold, instead of waiting for the next poll tick.
+	wake func()
 }
 
 // NewManager returns a Manager for the given configuration.
@@ -153,10 +195,118 @@ func NewManager(cfg Config) (*Manager, error) {
 	return &Manager{
 		cfg:     cfg,
 		pol:     pol,
-		wb:      wb,
+		domains: []*wbDomain{{wb: wb, share: 1}},
 		cached:  make(map[string]int64),
 		writing: make(map[string]int),
 	}, nil
+}
+
+// DomainConfig describes one per-device writeback domain for
+// ConfigureDomains.
+type DomainConfig struct {
+	// Dev is the backing device name blocks resolve to (must be unique
+	// and non-empty).
+	Dev string
+	// WriteBW is the device's nominal write bandwidth in any consistent
+	// unit; the domain's share of the global thresholds is WriteBW over
+	// the sum across all configured domains.
+	WriteBW float64
+	// DirtyRatio / DirtyBackgroundRatio, when positive, override the
+	// share-scaled global ratios for this device.
+	DirtyRatio           float64
+	DirtyBackgroundRatio float64
+}
+
+// ConfigureDomains switches the manager to per-device writeback: one
+// domain per entry of devs (each with its own expiry queue, WritebackPolicy
+// instance, thresholds and flusher), plus the retained default domain 0 at
+// full global thresholds as the cross-domain backstop for files that
+// resolve to no configured device. resolve maps a file name to its backing
+// device name ("" or an unknown name selects domain 0) and must be stable:
+// every block of one file lands in one domain.
+//
+// Must be called on an empty manager (no cached data, no dirty state),
+// before any simulation traffic, and at most once.
+func (m *Manager) ConfigureDomains(devs []DomainConfig, resolve func(file string) string) error {
+	if len(m.domains) != 1 {
+		return fmt.Errorf("core: ConfigureDomains: domains already configured")
+	}
+	if m.CacheBytes() != 0 || len(m.cached) != 0 {
+		return fmt.Errorf("core: ConfigureDomains requires an empty manager")
+	}
+	if resolve == nil {
+		return fmt.Errorf("core: ConfigureDomains: nil resolver")
+	}
+	if len(devs) == 0 {
+		return fmt.Errorf("core: ConfigureDomains: no devices")
+	}
+	var totalBW float64
+	for _, dc := range devs {
+		if dc.Dev == "" {
+			return fmt.Errorf("core: ConfigureDomains: empty device name")
+		}
+		if dc.WriteBW <= 0 {
+			return fmt.Errorf("core: ConfigureDomains: device %s: write bandwidth must be positive", dc.Dev)
+		}
+		if dc.DirtyRatio < 0 || dc.DirtyRatio > 1 {
+			return fmt.Errorf("core: ConfigureDomains: device %s: DirtyRatio must be in [0,1]", dc.Dev)
+		}
+		if dc.DirtyBackgroundRatio < 0 || dc.DirtyBackgroundRatio > 1 {
+			return fmt.Errorf("core: ConfigureDomains: device %s: DirtyBackgroundRatio must be in [0,1]", dc.Dev)
+		}
+		totalBW += dc.WriteBW
+	}
+	m.domIndex = make(map[string]int, len(devs))
+	for _, dc := range devs {
+		if _, dup := m.domIndex[dc.Dev]; dup {
+			return fmt.Errorf("core: ConfigureDomains: duplicate device %s", dc.Dev)
+		}
+		wb, err := newWritebackPolicy(m.cfg.Writeback)
+		if err != nil {
+			return err
+		}
+		d := &wbDomain{
+			dev:     dc.Dev,
+			wb:      wb,
+			share:   dc.WriteBW / totalBW,
+			ratio:   dc.DirtyRatio,
+			bgRatio: dc.DirtyBackgroundRatio,
+		}
+		m.domIndex[dc.Dev] = len(m.domains)
+		if db, ok := wb.(DomainBound); ok {
+			db.BindDomain(len(m.domains))
+		}
+		m.domains = append(m.domains, d)
+	}
+	m.resolve = resolve
+	return nil
+}
+
+// PerDevice reports whether the manager runs per-device writeback domains.
+func (m *Manager) PerDevice() bool { return len(m.domains) > 1 }
+
+// DomainCount returns the number of writeback domains (1 unless
+// ConfigureDomains ran).
+func (m *Manager) DomainCount() int { return len(m.domains) }
+
+// DomainDev returns the device name of a domain ("" for domain 0).
+func (m *Manager) DomainDev(dom int) string { return m.domains[dom].dev }
+
+// SetDomainWake installs a domain's flusher wake hook — the writer-driven
+// wakeup target WriteToCache kicks when a write crosses the domain's
+// background threshold. The engine wires it to the per-device flusher's
+// DES signal.
+func (m *Manager) SetDomainWake(dom int, wake func()) { m.domains[dom].wake = wake }
+
+// domainOf maps a file to its writeback domain index.
+func (m *Manager) domainOf(file string) int {
+	if m.resolve == nil {
+		return 0
+	}
+	if i, ok := m.domIndex[m.resolve(file)]; ok {
+		return i
+	}
+	return 0
 }
 
 // Config returns the manager configuration.
@@ -165,8 +315,12 @@ func (m *Manager) Config() Config { return m.cfg }
 // Policy returns the manager's replacement policy.
 func (m *Manager) Policy() Policy { return m.pol }
 
-// WritebackPolicy returns the manager's writeback policy.
-func (m *Manager) WritebackPolicy() WritebackPolicy { return m.wb }
+// WritebackPolicy returns the default domain's writeback policy (the only
+// one on managers without per-device domains).
+func (m *Manager) WritebackPolicy() WritebackPolicy { return m.domains[0].wb }
+
+// DomainWritebackPolicy returns one domain's writeback policy instance.
+func (m *Manager) DomainWritebackPolicy(dom int) WritebackPolicy { return m.domains[dom].wb }
 
 // Inactive and Active expose the policy's lists (read-only use: tests,
 // tracing): for the default two-list LRU these are the paper's inactive and
@@ -246,6 +400,56 @@ func (m *Manager) DirtyBackgroundThreshold() int64 {
 	return int64(m.cfg.DirtyBackgroundRatio * float64(m.Available()))
 }
 
+// DomainDirty returns one writeback domain's dirty bytes, summed from the
+// lists' per-domain counters: O(lists).
+func (m *Manager) DomainDirty(dom int) int64 {
+	var n int64
+	for _, l := range m.pol.Lists() {
+		n += l.DomainDirtyBytes(dom)
+	}
+	return n
+}
+
+// DomainDirtyThreshold returns a domain's writer-throttle ceiling: the
+// per-disk override when set, else the domain's write-bandwidth share of
+// the global DirtyRatio — Linux's bandwidth-proportional per-bdi limit,
+// statically approximated. Domain 0 (and the only domain of unconfigured
+// managers) carries the full global threshold.
+func (m *Manager) DomainDirtyThreshold(dom int) int64 {
+	d := m.domains[dom]
+	if d.ratio > 0 {
+		return int64(d.ratio * float64(m.Available()))
+	}
+	if d.share == 1 {
+		return m.DirtyThreshold()
+	}
+	return int64(m.cfg.DirtyRatio * d.share * float64(m.Available()))
+}
+
+// DomainBackgroundThreshold returns a domain's background writeback start
+// threshold (0: background writeback disabled for the domain), derived the
+// same way as DomainDirtyThreshold.
+func (m *Manager) DomainBackgroundThreshold(dom int) int64 {
+	d := m.domains[dom]
+	if d.bgRatio > 0 {
+		return int64(d.bgRatio * float64(m.Available()))
+	}
+	if m.cfg.DirtyBackgroundRatio <= 0 {
+		return 0
+	}
+	if d.share == 1 {
+		return m.DirtyBackgroundThreshold()
+	}
+	return int64(m.cfg.DirtyBackgroundRatio * d.share * float64(m.Available()))
+}
+
+// domainBackgroundEnabled reports whether a domain runs background
+// writeback at all — gated on the configured ratios, not the computed byte
+// thresholds, which can truncate to 0 under anonymous-memory pressure.
+func (m *Manager) domainBackgroundEnabled(dom int) bool {
+	return m.domains[dom].bgRatio > 0 || m.cfg.DirtyBackgroundRatio > 0
+}
+
 // FlushedBytes returns the bytes written back by Flush and FlushExpired
 // since construction (the writeback-ablation experiment's flush-volume
 // observable).
@@ -257,8 +461,39 @@ func (m *Manager) FlushedBytes() int64 { return m.flushedBytes }
 // the IOController.
 func (m *Manager) WriteThrottledSeconds() float64 { return m.throttledSec }
 
-// addThrottled accumulates writer-throttle time (IOController.WriteChunk).
-func (m *Manager) addThrottled(d float64) { m.throttledSec += d }
+// addThrottled accumulates writer-throttle time (IOController.WriteChunk),
+// attributed both globally and to the stalled writer's domain.
+func (m *Manager) addThrottled(dom int, d float64) {
+	m.throttledSec += d
+	m.domains[dom].throttled += d
+}
+
+// DomainStat is one domain's point-in-time writeback accounting — the
+// per-device split of the writeback observables.
+type DomainStat struct {
+	Dev                   string // backing device name ("" for the default domain)
+	DirtyBytes            int64
+	DirtyThreshold        int64
+	BackgroundThreshold   int64
+	FlushedBytes          int64
+	WriteThrottledSeconds float64
+}
+
+// DomainStats returns the per-domain writeback accounting, domain 0 first.
+func (m *Manager) DomainStats() []DomainStat {
+	out := make([]DomainStat, len(m.domains))
+	for i, d := range m.domains {
+		out[i] = DomainStat{
+			Dev:                   d.dev,
+			DirtyBytes:            m.DomainDirty(i),
+			DirtyThreshold:        m.DomainDirtyThreshold(i),
+			BackgroundThreshold:   m.DomainBackgroundThreshold(i),
+			FlushedBytes:          d.flushed,
+			WriteThrottledSeconds: d.throttled,
+		}
+	}
+	return out
+}
 
 // Evictable returns the clean bytes in the policy's evictable lists (the
 // inactive list under the default LRU), excluding blocks of `exclude` and of
@@ -296,57 +531,59 @@ func (m *Manager) CloseWrite(file string) {
 	}
 }
 
-// enqueueExpiry appends b to the expiry queue. Entry times are assigned from
-// the monotonic simulated clock, so the append preserves Entry order; the
-// defensive scan only moves when a caller violates that (it is O(1) on every
-// sanctioned path).
+// enqueueExpiry appends b to its domain's expiry queue. Entry times are
+// assigned from the monotonic simulated clock, so the append preserves
+// Entry order; the defensive scan only moves when a caller violates that
+// (it is O(1) on every sanctioned path).
 func (m *Manager) enqueueExpiry(b *Block) {
-	pos := m.eqTail
+	pos := m.domains[b.dom].eqTail
 	for pos != nil && pos.Entry > b.Entry {
 		pos = pos.eprev
 	}
 	m.enqueueExpiryAfter(b, pos)
 }
 
-// enqueueExpiryAfter links b into the expiry queue right after pos (nil: at
-// the head). Used directly for splits of queued dirty blocks, whose halves
-// share an Entry time.
+// enqueueExpiryAfter links b into its domain's expiry queue right after pos
+// (nil: at the head). Used directly for splits of queued dirty blocks,
+// whose halves share an Entry time (and, sharing a file, a domain).
 func (m *Manager) enqueueExpiryAfter(b, pos *Block) {
+	d := m.domains[b.dom]
 	b.eprev = pos
 	if pos != nil {
 		b.enext = pos.enext
 		pos.enext = b
 	} else {
-		b.enext = m.eqHead
-		m.eqHead = b
+		b.enext = d.eqHead
+		d.eqHead = b
 	}
 	if b.enext != nil {
 		b.enext.eprev = b
 	} else {
-		m.eqTail = b
+		d.eqTail = b
 	}
 }
 
-// noteDirty records a freshly created dirty block: it enters the expiry
-// queue and the writeback policy's order.
+// noteDirty records a freshly created dirty block: it enters its domain's
+// expiry queue and the domain's writeback policy order.
 func (m *Manager) noteDirty(b *Block) {
 	m.enqueueExpiry(b)
-	m.wb.NoteDirty(m, b, nil)
+	m.domains[b.dom].wb.NoteDirty(m, b, nil)
 }
 
 // noteDirtySplit records a dirty block split off queued dirty block
-// sibling: the halves share File and Entry, so b slots in right next to
-// sibling in both the expiry queue and the writeback policy's order.
+// sibling: the halves share File and Entry (hence a domain), so b slots in
+// right next to sibling in both the expiry queue and the writeback policy's
+// order.
 func (m *Manager) noteDirtySplit(b, sibling *Block) {
 	m.enqueueExpiryAfter(b, sibling)
-	m.wb.NoteDirty(m, b, sibling)
+	m.domains[b.dom].wb.NoteDirty(m, b, sibling)
 }
 
 // noteClean records that b left the dirty set (flushed or invalidated):
-// it leaves the expiry queue and the writeback policy's order.
+// it leaves its domain's expiry queue and writeback policy order.
 func (m *Manager) noteClean(b *Block) {
 	m.dequeueExpiry(b)
-	m.wb.NoteClean(m, b)
+	m.domains[b.dom].wb.NoteClean(m, b)
 }
 
 // fileDirtyBytes returns file's dirty bytes across the policy's lists, from
@@ -359,17 +596,19 @@ func (m *Manager) fileDirtyBytes(file string) int64 {
 	return n
 }
 
-// dequeueExpiry unlinks b from the expiry queue (block cleaned or dropped).
+// dequeueExpiry unlinks b from its domain's expiry queue (block cleaned or
+// dropped).
 func (m *Manager) dequeueExpiry(b *Block) {
+	d := m.domains[b.dom]
 	if b.eprev != nil {
 		b.eprev.enext = b.enext
 	} else {
-		m.eqHead = b.enext
+		d.eqHead = b.enext
 	}
 	if b.enext != nil {
 		b.enext.eprev = b.eprev
 	} else {
-		m.eqTail = b.eprev
+		d.eqTail = b.eprev
 	}
 	b.eprev, b.enext = nil, nil
 }
@@ -476,39 +715,89 @@ func (m *Manager) Evict(amount int64, exclude string) int64 {
 // The selection restarts after every blocking write so that concurrent list
 // mutations (other simulated processes) are observed — and thanks to the
 // writeback policies' incremental structures each restart is an O(1)–
-// O(lists) peek, not a list walk.
+// O(lists) peek, not a list walk. On per-device managers the selection is
+// cross-domain: each domain's policy nominates its candidate and the
+// globally oldest (by Entry; ties to the lowest domain) is flushed —
+// degenerating to the plain single-policy selection with one domain.
 func (m *Manager) Flush(c Caller, amount int64) int64 {
+	return m.flushSelect(c, amount, m.nextDirtyAny)
+}
+
+// FlushDomain is Flush restricted to one writeback domain — the body of a
+// per-device flusher.
+func (m *Manager) FlushDomain(c Caller, dom int, amount int64) int64 {
+	return m.flushSelect(c, amount, func() *Block { return m.domains[dom].wb.NextDirty(m) })
+}
+
+func (m *Manager) flushSelect(c Caller, amount int64, next func() *Block) int64 {
 	if amount <= 0 {
 		return 0
 	}
 	var flushed int64
 	for flushed < amount {
-		b := m.wb.NextDirty(m)
+		b := next()
 		if b == nil {
 			break
 		}
+		d := m.domains[b.dom]
 		n := m.cleanBlockPrefix(b.owner, b, amount-flushed)
-		m.wb.NoteFlushed(m, b)
+		d.wb.NoteFlushed(m, b)
 		flushed += n
 		m.flushedBytes += n
+		d.flushed += n
 		c.DiskWrite(b.File, n) // blocking; selection restarts afterwards
 	}
 	return flushed
+}
+
+// nextDirtyAny picks the cross-domain flush candidate: each domain's
+// NextDirty, globally oldest Entry first, ties to the lowest domain index.
+// One domain (the unconfigured manager) is a single direct peek.
+func (m *Manager) nextDirtyAny() *Block {
+	if len(m.domains) == 1 {
+		return m.domains[0].wb.NextDirty(m)
+	}
+	var best *Block
+	for _, d := range m.domains {
+		if b := d.wb.NextDirty(m); b != nil && (best == nil || b.Entry < best.Entry) {
+			best = b
+		}
+	}
+	return best
 }
 
 // FlushBackground writes back the dirty data exceeding the background
 // threshold (vm.dirty_background_ratio), in the writeback policy's flush
 // order. A no-op when background writeback is disabled (the default) or the
 // cache is below the threshold. The engine's periodic flusher calls it on
-// every wake-up, after the expiry pass. Returns the flushed byte count.
+// every wake-up, after the expiry pass. On per-device managers every
+// domain's overage over its own background threshold is written back, each
+// domain in its own policy order. Returns the flushed byte count.
 func (m *Manager) FlushBackground(c Caller) int64 {
-	// Gate on the configured ratio, not the computed byte threshold: under
-	// extreme anonymous-memory pressure the threshold can truncate to 0,
-	// and that must mean "flush everything", not "disabled".
-	if m.cfg.DirtyBackgroundRatio <= 0 {
+	if len(m.domains) == 1 {
+		// Gate on the configured ratio, not the computed byte threshold:
+		// under extreme anonymous-memory pressure the threshold can
+		// truncate to 0, and that must mean "flush everything", not
+		// "disabled".
+		if m.cfg.DirtyBackgroundRatio <= 0 {
+			return 0
+		}
+		return m.Flush(c, m.Dirty()-m.DirtyBackgroundThreshold())
+	}
+	var flushed int64
+	for dom := range m.domains {
+		flushed += m.FlushBackgroundDomain(c, dom)
+	}
+	return flushed
+}
+
+// FlushBackgroundDomain writes back one domain's dirty overage over its
+// background threshold — the per-device flusher's background pass.
+func (m *Manager) FlushBackgroundDomain(c Caller, dom int) int64 {
+	if !m.domainBackgroundEnabled(dom) {
 		return 0
 	}
-	return m.Flush(c, m.Dirty()-m.DirtyBackgroundThreshold())
+	return m.FlushDomain(c, dom, m.DomainDirty(dom)-m.DomainBackgroundThreshold(dom))
 }
 
 // cleanBlockPrefix marks up to `want` bytes of dirty block b clean
@@ -525,7 +814,7 @@ func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 	}
 	l.resize(b, b.Size-want)
 	nb := &Block{File: b.File, Size: want, Entry: b.Entry, LastAccess: b.LastAccess,
-		ref: b.ref, freq: b.freq, freqEpoch: b.freqEpoch}
+		dom: b.dom, ref: b.ref, freq: b.freq, freqEpoch: b.freqEpoch}
 	l.insertBefore(nb, b)
 	return want
 }
@@ -535,13 +824,25 @@ func (m *Manager) cleanBlockPrefix(l *List, b *Block, want int64) int64 {
 // backing store, in the writeback policy's expiry order (default
 // list-order: inactive list before active list, LRU first; the other
 // policies flush globally oldest-first). The expiry-queue head answers the
-// common "nothing expired" case in O(1) for every policy. Returns flushed
-// bytes.
+// common "nothing expired" case in O(1) for every policy. On per-device
+// managers the pass crosses domains, oldest candidate first. Returns
+// flushed bytes.
 func (m *Manager) FlushExpired(c Caller) int64 {
+	return m.flushExpiredSelect(c, m.nextExpiredAny)
+}
+
+// FlushExpiredDomain is FlushExpired restricted to one writeback domain —
+// the expiry pass of a per-device flusher.
+func (m *Manager) FlushExpiredDomain(c Caller, dom int) int64 {
+	return m.flushExpiredSelect(c, func(now float64) *Block {
+		return m.domains[dom].wb.NextExpired(m, now)
+	})
+}
+
+func (m *Manager) flushExpiredSelect(c Caller, next func(now float64) *Block) int64 {
 	var flushed int64
 	for {
-		now := c.Now()
-		b := m.wb.NextExpired(m, now)
+		b := next(c.Now())
 		if b == nil {
 			return flushed
 		}
@@ -549,8 +850,24 @@ func (m *Manager) FlushExpired(c Caller) int64 {
 		m.noteClean(b)
 		flushed += b.Size
 		m.flushedBytes += b.Size
+		m.domains[b.dom].flushed += b.Size
 		c.DiskWrite(b.File, b.Size) // blocking; rescan afterwards
 	}
+}
+
+// nextExpiredAny picks the cross-domain expired candidate, oldest Entry
+// first (ties to the lowest domain index).
+func (m *Manager) nextExpiredAny(now float64) *Block {
+	if len(m.domains) == 1 {
+		return m.domains[0].wb.NextExpired(m, now)
+	}
+	var best *Block
+	for _, d := range m.domains {
+		if b := d.wb.NextExpired(m, now); b != nil && (best == nil || b.Entry < best.Entry) {
+			best = b
+		}
+	}
+	return best
 }
 
 // AddToCache inserts n freshly disk-read bytes of file as one clean block at
@@ -574,7 +891,7 @@ func (m *Manager) AddToCache(file string, n int64, now float64) int64 {
 	if n > m.Free() {
 		return n - m.Free() // truly no room; caller surfaces the OOM
 	}
-	b := &Block{File: file, Size: n, Entry: now, LastAccess: now}
+	b := &Block{File: file, Size: n, Entry: now, LastAccess: now, dom: m.domainOf(file)}
 	m.pol.Insert(m, b)
 	m.addCached(file, n)
 	m.pol.Rebalance(m)
@@ -583,7 +900,11 @@ func (m *Manager) AddToCache(file string, n int64, now float64) int64 {
 
 // WriteToCache creates a dirty block of n bytes at the policy's insertion
 // position (§III.A.2: written data is assumed uncached) and charges the
-// memory write through c. Returns the unresolvable deficit (0 normally).
+// memory write through c. When the write pushes the block's writeback
+// domain past its background threshold and the domain has a flusher wake
+// hook installed, the flusher is kicked immediately (Linux's
+// balance_dirty_pages waking the bdi flusher) instead of waiting for the
+// next FlushInterval poll. Returns the unresolvable deficit (0 normally).
 func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 	if n <= 0 {
 		return 0
@@ -591,12 +912,16 @@ func (m *Manager) WriteToCache(c Caller, file string, n int64) int64 {
 	if n > m.Free() {
 		return n - m.Free()
 	}
-	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true}
+	b := &Block{File: file, Size: n, Entry: c.Now(), LastAccess: c.Now(), Dirty: true, dom: m.domainOf(file)}
 	m.pol.Insert(m, b)
 	m.noteDirty(b)
 	m.addCached(file, n)
 	m.pol.Rebalance(m)
 	c.MemWrite(n)
+	if d := m.domains[b.dom]; d.wake != nil &&
+		m.domainBackgroundEnabled(b.dom) && m.DomainDirty(b.dom) > m.DomainBackgroundThreshold(b.dom) {
+		d.wake()
+	}
 	return 0
 }
 
@@ -765,24 +1090,28 @@ func (m *Manager) CachedFiles() []string {
 
 // CheckInvariants verifies internal consistency — the classic accounting
 // invariants plus the index structures this package maintains incrementally:
-// per-list dirty sublists (order and membership), per-file chains (order,
-// membership, byte totals), and the manager-wide expiry queue (membership
-// and Entry order) — and then the policies' own structural invariants
-// (Policy.CheckInvariants: list ordering for the access-ordered policies,
-// bucket assignment for LFU; WritebackPolicy.CheckInvariants: per-file
-// dirty-queue and ring structure for the file-queue writeback policies).
-// Tests call it after randomized operation sequences. It returns an error
-// describing the first violation found.
+// per-list per-domain dirty sublists (order, membership, byte totals),
+// per-file chains (order, membership, byte totals), and the per-domain
+// expiry queues (membership and Entry order) — plus the domain assignment
+// itself (every block of one file in one domain, domain indexes in range) —
+// and then the policies' own structural invariants (Policy.CheckInvariants:
+// list ordering for the access-ordered policies, bucket assignment for LFU;
+// WritebackPolicy.CheckInvariants per domain: per-file dirty-queue and ring
+// structure for the file-queue writeback policies). Tests call it after
+// randomized operation sequences. It returns an error describing the first
+// violation found.
 func (m *Manager) CheckInvariants() error {
 	var perFile = map[string]int64{}
+	fileDom := map[string]int{}
 	dirtySet := map[*Block]bool{}
-	var dirtyCount int
+	domCount := make([]int, len(m.domains))
 	for _, l := range m.pol.Lists() {
 		var bytes, dirty int64
 		n := 0
 		// Reference sequences rebuilt from the main walk, checked against
 		// the incremental structures below.
-		dirtySeq := []*Block{}
+		domSeq := make([][]*Block, len(m.domains))
+		domBytes := make([]int64, len(m.domains))
 		fileSeq := map[string][]*Block{}
 		fileBytes := map[string]int64{}
 		fileDirty := map[string]int64{}
@@ -793,12 +1122,20 @@ func (m *Manager) CheckInvariants() error {
 			if b.Size <= 0 {
 				return fmt.Errorf("non-positive block size: %v", b)
 			}
+			if b.dom < 0 || b.dom >= len(m.domains) {
+				return fmt.Errorf("block %v has out-of-range domain %d", b, b.dom)
+			}
+			if prev, seen := fileDom[b.File]; seen && prev != b.dom {
+				return fmt.Errorf("file %s spans domains %d and %d", b.File, prev, b.dom)
+			}
+			fileDom[b.File] = b.dom
 			bytes += b.Size
 			if b.Dirty {
 				dirty += b.Size
-				dirtySeq = append(dirtySeq, b)
+				domSeq[b.dom] = append(domSeq[b.dom], b)
+				domBytes[b.dom] += b.Size
 				dirtySet[b] = true
-				dirtyCount++
+				domCount[b.dom]++
 				fileDirty[b.File] += b.Size
 			}
 			perFile[b.File] += b.Size
@@ -810,26 +1147,40 @@ func (m *Manager) CheckInvariants() error {
 			return fmt.Errorf("list %s accounting mismatch: bytes %d/%d dirty %d/%d len %d/%d",
 				l.name, bytes, l.Bytes(), dirty, l.DirtyBytes(), n, l.Len())
 		}
-		// Dirty sublist: exactly the dirty blocks, in list order.
-		d := l.FrontDirty()
-		for i, want := range dirtySeq {
-			if d != want {
-				return fmt.Errorf("list %s dirty sublist diverges at %d: %v != %v", l.name, i, d, want)
+		// Per-domain dirty sublists: exactly the domain's dirty blocks, in
+		// list order, with matching byte totals. Segments past the known
+		// domains (impossible via the range check above) and leftover
+		// endpoints are caught by the same walk.
+		for dom := 0; dom < len(m.domains); dom++ {
+			seq := domSeq[dom]
+			d := l.FrontDirtyDomain(dom)
+			for i, want := range seq {
+				if d != want {
+					return fmt.Errorf("list %s domain %d dirty sublist diverges at %d: %v != %v",
+						l.name, dom, i, d, want)
+				}
+				if d.dnext != nil && d.dnext.dprev != d {
+					return fmt.Errorf("list %s domain %d dirty sublist back-link broken at %v", l.name, dom, d)
+				}
+				d = d.dnext
 			}
-			if d.dnext != nil && d.dnext.dprev != d {
-				return fmt.Errorf("list %s dirty sublist back-link broken at %v", l.name, d)
+			if d != nil {
+				return fmt.Errorf("list %s domain %d dirty sublist has extra block %v", l.name, dom, d)
 			}
-			d = d.dnext
-		}
-		if d != nil {
-			return fmt.Errorf("list %s dirty sublist has extra block %v", l.name, d)
-		}
-		if len(dirtySeq) == 0 {
-			if l.dhead != nil || l.dtail != nil {
-				return fmt.Errorf("list %s dirty sublist not empty", l.name)
+			if l.DomainDirtyBytes(dom) != domBytes[dom] {
+				return fmt.Errorf("list %s domain %d dirty bytes %d, walk found %d",
+					l.name, dom, l.DomainDirtyBytes(dom), domBytes[dom])
 			}
-		} else if l.dtail != dirtySeq[len(dirtySeq)-1] {
-			return fmt.Errorf("list %s dirty sublist tail mismatch", l.name)
+			if dom < len(l.dsegs) {
+				s := &l.dsegs[dom]
+				if len(seq) == 0 {
+					if s.head != nil || s.tail != nil {
+						return fmt.Errorf("list %s domain %d dirty sublist not empty", l.name, dom)
+					}
+				} else if s.tail != seq[len(seq)-1] {
+					return fmt.Errorf("list %s domain %d dirty sublist tail mismatch", l.name, dom)
+				}
+			}
 		}
 		// Per-file chains: exactly each file's blocks, in list order, with
 		// matching byte totals — and no stale chains in the map.
@@ -862,28 +1213,34 @@ func (m *Manager) CheckInvariants() error {
 			}
 		}
 	}
-	// Expiry queue: exactly the dirty blocks of both lists, Entry-ordered.
-	var eqN int
-	lastEntry := math.Inf(-1) // timestamps may be negative after a rebase
-
-	for b := m.eqHead; b != nil; b = b.enext {
-		if !b.Dirty || !dirtySet[b] {
-			return fmt.Errorf("expiry queue holds non-dirty or foreign block %v", b)
+	// Per-domain expiry queues: exactly each domain's dirty blocks,
+	// Entry-ordered.
+	for dom, d := range m.domains {
+		var eqN int
+		lastEntry := math.Inf(-1) // timestamps may be negative after a rebase
+		for b := d.eqHead; b != nil; b = b.enext {
+			if !b.Dirty || !dirtySet[b] {
+				return fmt.Errorf("domain %d expiry queue holds non-dirty or foreign block %v", dom, b)
+			}
+			if b.dom != dom {
+				return fmt.Errorf("domain %d expiry queue holds block %v of domain %d", dom, b, b.dom)
+			}
+			if b.Entry < lastEntry {
+				return fmt.Errorf("domain %d expiry queue not sorted by entry time at %v", dom, b)
+			}
+			lastEntry = b.Entry
+			if b.enext != nil && b.enext.eprev != b {
+				return fmt.Errorf("domain %d expiry queue back-link broken at %v", dom, b)
+			}
+			eqN++
 		}
-		if b.Entry < lastEntry {
-			return fmt.Errorf("expiry queue not sorted by entry time at %v", b)
+		if eqN != domCount[dom] {
+			return fmt.Errorf("domain %d expiry queue holds %d blocks, lists hold %d dirty",
+				dom, eqN, domCount[dom])
 		}
-		lastEntry = b.Entry
-		if b.enext != nil && b.enext.eprev != b {
-			return fmt.Errorf("expiry queue back-link broken at %v", b)
+		if (d.eqHead == nil) != (d.eqTail == nil) {
+			return fmt.Errorf("domain %d expiry queue endpoints inconsistent", dom)
 		}
-		eqN++
-	}
-	if eqN != dirtyCount {
-		return fmt.Errorf("expiry queue holds %d blocks, lists hold %d dirty", eqN, dirtyCount)
-	}
-	if (m.eqHead == nil) != (m.eqTail == nil) {
-		return fmt.Errorf("expiry queue endpoints inconsistent")
 	}
 	for f, v := range perFile {
 		if m.cached[f] != v {
@@ -911,5 +1268,10 @@ func (m *Manager) CheckInvariants() error {
 	if err := m.pol.CheckInvariants(m); err != nil {
 		return err
 	}
-	return m.wb.CheckInvariants(m)
+	for _, d := range m.domains {
+		if err := d.wb.CheckInvariants(m); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -38,6 +38,7 @@ func (p *lruPolicy) ReadHit(m *Manager, file string, amount int64, now float64) 
 	remaining := amount
 	var mergedSize int64
 	mergedEntry := now
+	mergedDom := 0
 
 	consume := func(l *List) {
 		b := l.fileFront(file)
@@ -53,7 +54,7 @@ func (p *lruPolicy) ReadHit(m *Manager, file string, amount int64, now float64) 
 			} else {
 				// Split: the LRU-side prefix is the portion read now.
 				l.resize(b, b.Size-take)
-				moved = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
+				moved = &Block{File: file, Size: take, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty, dom: b.dom}
 			}
 			if moved.Dirty {
 				moved.LastAccess = now
@@ -68,6 +69,7 @@ func (p *lruPolicy) ReadHit(m *Manager, file string, amount int64, now float64) 
 				if moved.Entry < mergedEntry {
 					mergedEntry = moved.Entry
 				}
+				mergedDom = moved.dom // one file, one domain
 			}
 			remaining -= take
 			b = next
@@ -77,7 +79,7 @@ func (p *lruPolicy) ReadHit(m *Manager, file string, amount int64, now float64) 
 	consume(p.active)
 
 	if mergedSize > 0 {
-		p.active.PushBack(&Block{File: file, Size: mergedSize, Entry: mergedEntry, LastAccess: now})
+		p.active.PushBack(&Block{File: file, Size: mergedSize, Entry: mergedEntry, LastAccess: now, dom: mergedDom})
 	}
 }
 
@@ -111,7 +113,7 @@ func (p *lruPolicy) Rebalance(m *Manager) {
 			continue
 		}
 		p.active.resize(b, b.Size-excess)
-		nb := &Block{File: b.File, Size: excess, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty}
+		nb := &Block{File: b.File, Size: excess, Entry: b.Entry, LastAccess: b.LastAccess, Dirty: b.Dirty, dom: b.dom}
 		p.inactive.InsertSorted(nb)
 		if nb.Dirty {
 			// Split of a queued dirty block: same Entry, slots in next to b.

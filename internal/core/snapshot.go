@@ -19,9 +19,17 @@ import "fmt"
 // with history-dependent structure (the file-queue ring and its round-robin
 // cursor) implement StatefulWritebackPolicy to capture it explicitly.
 
-// ManagerStateVersion is the ManagerState schema version; Restore rejects
-// snapshots written by an incompatible schema.
-const ManagerStateVersion = 1
+// ManagerStateVersion is the ManagerState schema version written for
+// single-domain managers (the default) — unchanged since the format was
+// introduced, so pre-refactor snapshots restore as before.
+// ManagerStateVersionPerDevice is written when the manager has per-device
+// writeback domains configured: the expiry queue, writeback aux structure,
+// and flush/throttle counters are then recorded per domain. Restore rejects
+// snapshots whose version does not match the target manager's mode.
+const (
+	ManagerStateVersion          = 1
+	ManagerStateVersionPerDevice = 2
+)
 
 // BlockState is one cached block, policy metadata included, in a
 // serializable form.
@@ -78,6 +86,22 @@ type ManagerState struct {
 	Lists        []ListState     `json:"lists"`
 	Expiry       []BlockRef      `json:"expiry,omitempty"`
 	WritebackAux *WritebackState `json:"writebackAux,omitempty"`
+
+	// Domains carries the per-domain writeback state of a per-device manager
+	// (version ManagerStateVersionPerDevice), in domain-index order; Expiry
+	// and WritebackAux above are then unused.
+	Domains []DomainSnapshot `json:"domains,omitempty"`
+}
+
+// DomainSnapshot is one writeback domain's state in a per-device snapshot:
+// the domain's expiry queue in Entry order (as refs into Lists), its
+// writeback policy's aux structure, and its flush/throttle counters.
+type DomainSnapshot struct {
+	Dev          string          `json:"dev"`
+	Expiry       []BlockRef      `json:"expiry,omitempty"`
+	WritebackAux *WritebackState `json:"writebackAux,omitempty"`
+	FlushedBytes int64           `json:"flushedBytes,omitempty"`
+	ThrottledSec float64         `json:"throttledSec,omitempty"`
 }
 
 // StatefulWritebackPolicy is an optional interface a WritebackPolicy
@@ -106,7 +130,7 @@ func (m *Manager) SnapshotState() *ManagerState {
 	st := &ManagerState{
 		Version:         ManagerStateVersion,
 		Policy:          m.pol.Name(),
-		Writeback:       m.wb.Name(),
+		Writeback:       m.domains[0].wb.Name(),
 		Anon:            m.anon,
 		ReadHits:        m.readHits,
 		ReadMisses:      m.readMisses,
@@ -132,10 +156,24 @@ func (m *Manager) SnapshotState() *ManagerState {
 		}
 		st.Lists = append(st.Lists, ls)
 	}
-	for b := m.eqHead; b != nil; b = b.enext {
+	if m.PerDevice() {
+		st.Version = ManagerStateVersionPerDevice
+		for _, d := range m.domains {
+			ds := DomainSnapshot{Dev: d.dev, FlushedBytes: d.flushed, ThrottledSec: d.throttled}
+			for b := d.eqHead; b != nil; b = b.enext {
+				ds.Expiry = append(ds.Expiry, refs[b])
+			}
+			if sp, ok := d.wb.(StatefulWritebackPolicy); ok {
+				ds.WritebackAux = sp.SnapshotWriteback()
+			}
+			st.Domains = append(st.Domains, ds)
+		}
+		return st
+	}
+	for b := m.domains[0].eqHead; b != nil; b = b.enext {
 		st.Expiry = append(st.Expiry, refs[b])
 	}
-	if sp, ok := m.wb.(StatefulWritebackPolicy); ok {
+	if sp, ok := m.domains[0].wb.(StatefulWritebackPolicy); ok {
 		st.WritebackAux = sp.SnapshotWriteback()
 	}
 	return st
@@ -152,17 +190,40 @@ func (m *Manager) RestoreState(st *ManagerState) error {
 	if st == nil {
 		return fmt.Errorf("core: RestoreState: nil state")
 	}
-	if st.Version != ManagerStateVersion {
-		return fmt.Errorf("core: RestoreState: snapshot version %d, want %d", st.Version, ManagerStateVersion)
+	switch st.Version {
+	case ManagerStateVersion:
+		if m.PerDevice() {
+			return fmt.Errorf("core: RestoreState: single-domain snapshot (version %d) into per-device manager", st.Version)
+		}
+	case ManagerStateVersionPerDevice:
+		if !m.PerDevice() {
+			return fmt.Errorf("core: RestoreState: per-device snapshot (version %d) into single-domain manager", st.Version)
+		}
+		if len(st.Domains) != len(m.domains) {
+			return fmt.Errorf("core: RestoreState: snapshot has %d domains, manager %d", len(st.Domains), len(m.domains))
+		}
+		for dom, ds := range st.Domains {
+			if ds.Dev != m.domains[dom].dev {
+				return fmt.Errorf("core: RestoreState: domain %d is %q, snapshot %q", dom, m.domains[dom].dev, ds.Dev)
+			}
+		}
+	default:
+		return fmt.Errorf("core: RestoreState: snapshot version %d, want %d or %d",
+			st.Version, ManagerStateVersion, ManagerStateVersionPerDevice)
 	}
-	if m.CacheBytes() != 0 || m.anon != 0 || len(m.writing) != 0 || m.eqHead != nil {
+	for _, d := range m.domains {
+		if d.eqHead != nil {
+			return fmt.Errorf("core: RestoreState: target manager not empty")
+		}
+	}
+	if m.CacheBytes() != 0 || m.anon != 0 || len(m.writing) != 0 {
 		return fmt.Errorf("core: RestoreState: target manager not empty")
 	}
 	if m.pol.Name() != st.Policy {
 		return fmt.Errorf("core: RestoreState: policy %q, snapshot taken under %q", m.pol.Name(), st.Policy)
 	}
-	if m.wb.Name() != st.Writeback {
-		return fmt.Errorf("core: RestoreState: writeback %q, snapshot taken under %q", m.wb.Name(), st.Writeback)
+	if m.domains[0].wb.Name() != st.Writeback {
+		return fmt.Errorf("core: RestoreState: writeback %q, snapshot taken under %q", m.domains[0].wb.Name(), st.Writeback)
 	}
 	lists := m.pol.Lists()
 	if len(lists) != len(st.Lists) {
@@ -184,39 +245,72 @@ func (m *Manager) RestoreState(st *ManagerState) error {
 			b := &Block{
 				File: bs.File, Size: bs.Size, Entry: bs.Entry, LastAccess: bs.LastAccess,
 				Dirty: bs.Dirty, ref: bs.Ref, freq: bs.Freq, freqEpoch: bs.FreqEpoch,
+				dom: m.domainOf(bs.File), // before restoreAppend: it segments by dom
 			}
 			lists[i].restoreAppend(b)
 			m.addCached(b.File, b.Size)
 			blocks[i] = append(blocks[i], b)
 		}
 	}
-	// Replay the dirty set in recorded expiry order: that rebuilds the expiry
-	// queue exactly, and — because a global Entry order is also a per-file
-	// Entry order — the writeback policies' per-file queues too. The ring
-	// order and cursor are history-dependent; WritebackAux re-applies them.
-	var prev *Block
-	for _, ref := range st.Expiry {
-		if ref.List < 0 || ref.List >= len(blocks) || ref.Index < 0 || ref.Index >= len(blocks[ref.List]) {
-			return fmt.Errorf("core: RestoreState: expiry ref %+v out of range", ref)
+	// Replay each domain's dirty set in recorded expiry order: that rebuilds
+	// the expiry queue exactly, and — because a domain Entry order is also a
+	// per-file Entry order — the writeback policies' per-file queues too. The
+	// ring order and cursor are history-dependent; WritebackAux re-applies
+	// them.
+	replay := func(dom int, refs []BlockRef) error {
+		var prev *Block
+		for _, ref := range refs {
+			if ref.List < 0 || ref.List >= len(blocks) || ref.Index < 0 || ref.Index >= len(blocks[ref.List]) {
+				return fmt.Errorf("core: RestoreState: expiry ref %+v out of range", ref)
+			}
+			b := blocks[ref.List][ref.Index]
+			if !b.Dirty {
+				return fmt.Errorf("core: RestoreState: expiry ref %+v points at clean block %v", ref, b)
+			}
+			if b.dom != dom {
+				return fmt.Errorf("core: RestoreState: expiry ref %+v block %v resolves to domain %d, listed under %d",
+					ref, b, b.dom, dom)
+			}
+			if b.eprev != nil || b == m.domains[dom].eqHead {
+				return fmt.Errorf("core: RestoreState: expiry ref %+v repeated", ref)
+			}
+			m.enqueueExpiryAfter(b, prev)
+			m.domains[dom].wb.NoteDirty(m, b, nil)
+			prev = b
 		}
-		b := blocks[ref.List][ref.Index]
-		if !b.Dirty {
-			return fmt.Errorf("core: RestoreState: expiry ref %+v points at clean block %v", ref, b)
-		}
-		if b.eprev != nil || b == m.eqHead {
-			return fmt.Errorf("core: RestoreState: expiry ref %+v repeated", ref)
-		}
-		m.enqueueExpiryAfter(b, prev)
-		m.wb.NoteDirty(m, b, nil)
-		prev = b
+		return nil
 	}
-	if st.WritebackAux != nil {
-		sp, ok := m.wb.(StatefulWritebackPolicy)
-		if !ok {
-			return fmt.Errorf("core: RestoreState: snapshot has writeback aux state but policy %q is stateless", m.wb.Name())
+	restoreAux := func(dom int, aux *WritebackState) error {
+		if aux == nil {
+			return nil
 		}
-		if err := sp.RestoreWriteback(st.WritebackAux); err != nil {
+		d := m.domains[dom]
+		sp, ok := d.wb.(StatefulWritebackPolicy)
+		if !ok {
+			return fmt.Errorf("core: RestoreState: snapshot has writeback aux state but policy %q is stateless", d.wb.Name())
+		}
+		if err := sp.RestoreWriteback(aux); err != nil {
 			return fmt.Errorf("core: RestoreState: %w", err)
+		}
+		return nil
+	}
+	if m.PerDevice() {
+		for dom, ds := range st.Domains {
+			if err := replay(dom, ds.Expiry); err != nil {
+				return err
+			}
+			if err := restoreAux(dom, ds.WritebackAux); err != nil {
+				return err
+			}
+			m.domains[dom].flushed = ds.FlushedBytes
+			m.domains[dom].throttled = ds.ThrottledSec
+		}
+	} else {
+		if err := replay(0, st.Expiry); err != nil {
+			return err
+		}
+		if err := restoreAux(0, st.WritebackAux); err != nil {
+			return err
 		}
 	}
 	m.anon = st.Anon

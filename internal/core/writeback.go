@@ -117,14 +117,33 @@ func newWritebackPolicy(name string) (WritebackPolicy, error) {
 	return writebackRegistry[name](), nil
 }
 
-// ExpiredHead returns the globally oldest dirty block when it is older than
-// DirtyExpire at time now, else nil — the manager-wide expiry queue's head,
-// an O(1) peek. It is both the shared idle-case fast path of NextExpired and
-// the complete answer for Entry-ordered expiry policies: the queue is
-// Entry-sorted, so its head is the first block to expire.
+// DomainBound is implemented by writeback policies that need to know which
+// writeback domain they serve. When the Manager is configured with
+// per-device domains it constructs one policy instance per domain and calls
+// BindDomain with the domain's index before any dirty block is noted; the
+// policy then restricts its selection queries to that domain's dirty
+// segments and expiry queue. Policies that never walk manager structure
+// directly (pure event-driven queues) may ignore the interface.
+type DomainBound interface {
+	BindDomain(dom int)
+}
+
+// ExpiredHead returns the default domain's oldest dirty block when it is
+// older than DirtyExpire at time now, else nil — the domain expiry queue's
+// head, an O(1) peek. On a single-domain manager (the default) this is the
+// globally oldest dirty block. It is both the shared idle-case fast path of
+// NextExpired and the complete answer for Entry-ordered expiry policies:
+// the queue is Entry-sorted, so its head is the first block to expire.
 func (m *Manager) ExpiredHead(now float64) *Block {
-	if m.eqHead == nil || now-m.eqHead.Entry < m.cfg.DirtyExpire {
+	return m.ExpiredHeadDomain(0, now)
+}
+
+// ExpiredHeadDomain is ExpiredHead for one writeback domain: the domain's
+// oldest dirty block when older than DirtyExpire at time now, else nil.
+func (m *Manager) ExpiredHeadDomain(dom int, now float64) *Block {
+	h := m.domains[dom].eqHead
+	if h == nil || now-h.Entry < m.cfg.DirtyExpire {
 		return nil
 	}
-	return m.eqHead
+	return h
 }

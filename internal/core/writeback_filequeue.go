@@ -24,6 +24,7 @@ type wbFileQueues struct {
 	files              map[string]*wbFileQueue
 	ringHead, ringTail *wbFileQueue
 	cursor             *wbFileQueue // round-robin position (file-rr)
+	dom                int          // writeback domain served (0 unless per-device)
 }
 
 func newWBFileQueues() *wbFileQueues {
@@ -190,7 +191,7 @@ func (q *wbFileQueues) checkInvariants(m *Manager) error {
 	// Entry-ordered — so counting per file is enough alongside membership.
 	want := map[string]int{}
 	for _, l := range m.pol.Lists() {
-		for b := l.FrontDirty(); b != nil; b = b.dnext {
+		for b := l.FrontDirtyDomain(q.dom); b != nil; b = b.dnext {
 			want[b.File]++
 		}
 	}

@@ -13,13 +13,18 @@ func init() {
 // Entry-ordered queue and a ring cycles over the files that have dirty
 // data: every Flush step writes the front (oldest) dirty block of the
 // cursor's file, then the cursor advances (NoteFlushed), interleaving files
-// block by block. Expiry flushing is globally oldest-first — the kernel's
-// periodic writeback also picks inodes by dirtied-when age.
+// block by block. On a per-device manager the policy is instantiated once
+// per writeback domain — one ring and cursor per bdi, exactly like the
+// kernel's per-bdi b_io lists; a file only ever dirties blocks in its
+// device's instance, so no cross-domain filtering is needed. Expiry
+// flushing is domain-oldest-first — the kernel's periodic writeback also
+// picks inodes by dirtied-when age.
 type fileRRWriteback struct {
 	q *wbFileQueues
 }
 
-func (p *fileRRWriteback) Name() string { return "file-rr" }
+func (p *fileRRWriteback) Name() string       { return "file-rr" }
+func (p *fileRRWriteback) BindDomain(dom int) { p.q.dom = dom }
 
 func (p *fileRRWriteback) NoteDirty(m *Manager, b, sibling *Block) { p.q.noteDirty(b, sibling) }
 func (p *fileRRWriteback) NoteClean(m *Manager, b *Block)          { p.q.noteClean(b) }
@@ -34,9 +39,9 @@ func (p *fileRRWriteback) NextDirty(m *Manager) *Block {
 	return nil
 }
 
-// NextExpired returns the globally oldest dirty block when expired. O(1).
+// NextExpired returns the domain's oldest dirty block when expired. O(1).
 func (p *fileRRWriteback) NextExpired(m *Manager, now float64) *Block {
-	return m.ExpiredHead(now)
+	return m.ExpiredHeadDomain(p.q.dom, now)
 }
 
 func (p *fileRRWriteback) CheckInvariants(m *Manager) error { return p.q.checkInvariants(m) }

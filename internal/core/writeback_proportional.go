@@ -16,12 +16,16 @@ func init() {
 // get picked 2× as often — without maintaining explicit quotas. Ties break
 // by ring (first-dirtied) order, keeping selection deterministic. Selection
 // scans the active-file ring: O(files with dirty data) per flushed block.
-// Expiry flushing is globally oldest-first, as in file-rr.
+// On a per-device manager each writeback domain gets its own instance —
+// the proportional split then really is per-bdi, between the files of one
+// device, while the Manager's per-domain thresholds split bandwidth between
+// devices. Expiry flushing is domain-oldest-first, as in file-rr.
 type proportionalWriteback struct {
 	q *wbFileQueues
 }
 
-func (p *proportionalWriteback) Name() string { return "proportional" }
+func (p *proportionalWriteback) Name() string       { return "proportional" }
+func (p *proportionalWriteback) BindDomain(dom int) { p.q.dom = dom }
 
 func (p *proportionalWriteback) NoteDirty(m *Manager, b, sibling *Block) { p.q.noteDirty(b, sibling) }
 func (p *proportionalWriteback) NoteClean(m *Manager, b *Block)          { p.q.noteClean(b) }
@@ -45,9 +49,9 @@ func (p *proportionalWriteback) NextDirty(m *Manager) *Block {
 	return best.head
 }
 
-// NextExpired returns the globally oldest dirty block when expired. O(1).
+// NextExpired returns the domain's oldest dirty block when expired. O(1).
 func (p *proportionalWriteback) NextExpired(m *Manager, now float64) *Block {
-	return m.ExpiredHead(now)
+	return m.ExpiredHeadDomain(p.q.dom, now)
 }
 
 func (p *proportionalWriteback) CheckInvariants(m *Manager) error { return p.q.checkInvariants(m) }

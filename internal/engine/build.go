@@ -23,7 +23,10 @@ type Platform struct {
 // the default LRU), the writeback policy from "writebackPolicy" (empty: the
 // paper's list order), the background writeback threshold from
 // "dirtyBackgroundRatio" (0: disabled) and the LFU decay half-life from
-// "lfuHalfLife" (0: the core default).
+// "lfuHalfLife" (0: the core default). Hosts with "perDeviceWriteback" get
+// one writeback domain and flusher per disk (per-disk "dirtyRatio" /
+// "dirtyBackgroundRatio" overriding the bandwidth-share split) with
+// writer-driven wakeups; cacheless hosts ignore the flag.
 func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64, dirtyRatio float64) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -61,6 +64,18 @@ func (s *Simulation) BuildPlatform(cfg *platform.Config, mode Mode, chunk int64,
 				return nil, fmt.Errorf("engine: building disk %s: %w", dc.Name, err)
 			}
 			p.Partitions[dc.Partition] = part
+		}
+		if hc.PerDeviceWriteback && mode != ModeCacheless {
+			knobs := make(map[string]DiskWritebackKnobs, len(hc.Disks))
+			for _, dc := range hc.Disks {
+				knobs[dc.Name] = DiskWritebackKnobs{
+					DirtyRatio:           dc.DirtyRatio,
+					DirtyBackgroundRatio: dc.DirtyBackgroundRatio,
+				}
+			}
+			if err := hr.EnablePerDeviceWriteback(knobs); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for _, lc := range cfg.Links {

@@ -149,6 +149,12 @@ func (m *coreModel) Start(k *des.Kernel, mkCaller func(*des.Proc) core.Caller, r
 	}
 	mgr := m.io.Manager()
 	k.Spawn("pdflush", func(p *des.Proc) {
+		if mgr.PerDevice() {
+			// Per-device writeback replaces the host-wide flusher with one
+			// proc per domain, spawned by EnablePerDeviceWriteback (which
+			// runs after this proc is created but before simulated time 0).
+			return
+		}
 		core.RunPeriodicFlusher(mkCaller(p), mgr, p.Sleep, running)
 	})
 }

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// DiskWritebackKnobs are one disk's optional writeback-threshold overrides
+// for per-device writeback (platform JSON: the disk's "dirtyRatio" and
+// "dirtyBackgroundRatio" fields). Zero values mean "derive from the global
+// ratios scaled by the disk's write-bandwidth share", Linux's default
+// bandwidth-proportional bdi split.
+type DiskWritebackKnobs struct {
+	DirtyRatio           float64
+	DirtyBackgroundRatio float64
+}
+
+// EnablePerDeviceWriteback switches the host's cache model from one global
+// writeback domain to per-device domains: one domain per local disk (plus
+// the retained default domain 0 as the cross-device backstop for files that
+// live on no local disk — remote mounts, unplaced files), each with its own
+// dirty thresholds, its own flusher proc scheduled through the DES kernel,
+// and writer-driven wakeups (a write crossing a domain's background
+// threshold kicks that domain's flusher signal immediately instead of
+// waiting out the FlushInterval poll).
+//
+// Must be called after the host's disks are attached and before the
+// simulation runs; the host's model must be backed by a core.Manager. knobs
+// may be nil or name a subset of the disks. Strictly opt-in: hosts that
+// never call this are byte-identical to the single-flusher engine.
+func (hr *HostRuntime) EnablePerDeviceWriteback(knobs map[string]DiskWritebackKnobs) error {
+	mp, ok := hr.Model.(ManagerProvider)
+	if !ok {
+		return fmt.Errorf("engine: per-device writeback on %s: model has no core.Manager", hr.Host.Name())
+	}
+	if len(hr.disks) == 0 {
+		return fmt.Errorf("engine: per-device writeback on %s: host has no disks", hr.Host.Name())
+	}
+	m := mp.Manager()
+	devs := make([]core.DomainConfig, 0, len(hr.disks))
+	for _, dev := range hr.disks {
+		dc := core.DomainConfig{Dev: dev.Name(), WriteBW: dev.Spec().WriteBW}
+		if k, ok := knobs[dev.Name()]; ok {
+			dc.DirtyRatio = k.DirtyRatio
+			dc.DirtyBackgroundRatio = k.DirtyBackgroundRatio
+		}
+		devs = append(devs, dc)
+	}
+	if err := m.ConfigureDomains(devs, hr.writebackDeviceOf); err != nil {
+		return fmt.Errorf("engine: per-device writeback on %s: %w", hr.Host.Name(), err)
+	}
+	// One flusher proc per domain, including the backstop (the host-wide
+	// "pdflush" spawned by Model.Start exits immediately in per-device
+	// mode). Each waits on its own signal so writers wake exactly their
+	// device's flusher.
+	s := hr.sim
+	for dom := 0; dom < m.DomainCount(); dom++ {
+		dom := dom
+		name := "pdflush-" + m.DomainDev(dom)
+		if dom == 0 {
+			name = "pdflush-default"
+		}
+		sig := des.NewSignal(s.K)
+		m.SetDomainWake(dom, sig.Broadcast)
+		s.K.Spawn(name, func(p *des.Proc) {
+			c := hr.Caller(p)
+			core.RunDomainFlusher(c, m, dom, func(seconds float64) {
+				sig.WaitTimeout(p, seconds)
+			}, func() bool { return s.running })
+		})
+	}
+	return nil
+}
+
+// writebackDeviceOf maps a file to the local device backing it — the bdi
+// key of the host's writeback domains. Files on remote mounts or foreign
+// partitions, and unplaced files, resolve to "" (the backstop domain):
+// their dirty data is bounded by the global thresholds, as before.
+func (hr *HostRuntime) writebackDeviceOf(file string) string {
+	part, err := hr.sim.NS.Locate(file)
+	if err != nil || hr.remotes[part] != nil || hr.sim.partHost[part] != hr {
+		return ""
+	}
+	return hr.sim.NS.DeviceOf(file)
+}

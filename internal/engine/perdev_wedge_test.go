@@ -1,0 +1,20 @@
+package engine
+
+import "testing"
+
+// TestPerDeviceEvictionPressure reproduces the full-size devices-ablation
+// wedge at unit scale: per-device writeback with total write volume several
+// times RAM, so the eviction path engages on every chunk.
+func TestPerDeviceEvictionPressure(t *testing.T) {
+	r := newPerDevRig(t, 0.10, true)
+	r.sim.SpawnApp(r.hr, 0, "fast-writer", func(a *App) error {
+		return a.WriteFile("big-fast", 3000, r.fast, "wf")
+	})
+	r.sim.SpawnApp(r.hr, 1, "slow-writer", func(a *App) error {
+		return a.WriteFile("big-slow", 3000, r.slow, "ws")
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("makespan %.3f", r.sim.Makespan())
+}

@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/cawl"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/platform"
+	"repro/internal/storage"
+	"repro/internal/textplot"
+	"repro/internal/units"
+)
+
+// The per-device ablation's mixed-speed host: one fast NVMe-class disk and
+// one slow HDD-class disk behind a 16 GiB page cache, each written
+// concurrently by its own application. With one global writeback domain the
+// slow disk's dirty backlog consumes the shared threshold and the global
+// flush order interleaves both devices, so the fast writer stalls behind
+// HDD writeback; with per-device domains each writer is throttled only by
+// its own device. The CAWL write cost model (internal/cawl) provides the
+// per-device analytic prediction both modes are compared against.
+const (
+	devRAM      = 16 * units.GiB
+	devNVMeMBps = 2000
+	devHDDMBps  = 120
+	devBG       = 0.10
+)
+
+// devModes are the compared writeback layouts; Coord.I indexes it.
+var devModes = []string{"global", "per-device"}
+
+// devSizes returns the per-writer write volume (quick thins the storm).
+func devSizes(quick bool) int64 {
+	if quick {
+		return 8 * units.GB
+	}
+	return 24 * units.GB
+}
+
+// DeviceRow is one (mode, device) row of the per-device writeback ablation.
+type DeviceRow struct {
+	Mode      string  // "global" or "per-device"
+	Dev       string  // device name
+	Written   int64   // bytes the device's writer pushed
+	Wall      float64 // simulated seconds until that writer finished
+	Throttled float64 // writer-throttle seconds (per-domain split in per-device mode; host total in global mode)
+	CAWLPred  float64 // CAWL-modeled write seconds for this device
+	CAWLErr   float64 // (Wall - CAWLPred) / CAWLPred, in percent
+}
+
+// DevicesResult collects the ablation rows in (mode, device) order.
+type DevicesResult struct {
+	Rows []DeviceRow
+}
+
+// devicesArgs parameterizes one mode cell.
+type devicesArgs struct {
+	Mode  string `json:"mode"`
+	Quick bool   `json:"quick"`
+}
+
+// deviceWriterPayload is one writer's observables.
+type deviceWriterPayload struct {
+	Dev       string  `json:"dev"`
+	Bytes     int64   `json:"bytes"`
+	Wall      float64 `json:"wall"`
+	Throttled float64 `json:"throttled"`
+	Pred      float64 `json:"pred"`
+}
+
+// devicesPayload is one cell's observables, writers in disk-attach order.
+type devicesPayload struct {
+	Writers []deviceWriterPayload `json:"writers"`
+}
+
+func init() {
+	grid.RegisterCell("devices", func(a devicesArgs) (any, error) { return runDevicesCell(a) })
+}
+
+// devDisk describes one disk of the ablation host.
+type devDisk struct {
+	name string
+	part string
+	mbps float64
+}
+
+func devDisks() []devDisk {
+	return []devDisk{
+		{name: "nvme0", part: "fastpart", mbps: devNVMeMBps},
+		{name: "hdd0", part: "slowpart", mbps: devHDDMBps},
+	}
+}
+
+func runDevicesCell(a devicesArgs) (*devicesPayload, error) {
+	size := devSizes(a.Quick)
+	disks := devDisks()
+
+	sim := engine.NewSimulation()
+	cfg := core.DefaultConfig(devRAM)
+	cfg.DirtyBackgroundRatio = devBG
+	mgr, err := core.NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := engine.NewCoreModel(mgr, ChunkSize, engine.ModeWriteback)
+	if err != nil {
+		return nil, err
+	}
+	spec := platform.PaperHostSpec("node0", platform.SimMemorySpec("node0.mem"))
+	spec.MemoryCap = devRAM
+	hr, err := sim.AddHostWithModel(spec, engine.ModeWriteback, model)
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]*storage.Partition, len(disks))
+	for i, d := range disks {
+		bw := units.MBps(d.mbps)
+		part, err := hr.AddDisk(platform.DeviceSpec{
+			Name: d.name, ReadBW: bw, WriteBW: bw, Capacity: 64 * units.GiB,
+		}, d.part, 64*units.GiB)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = part
+	}
+	if a.Mode == "per-device" {
+		if err := hr.EnablePerDeviceWriteback(nil); err != nil {
+			return nil, err
+		}
+	}
+
+	walls := make([]float64, len(disks))
+	for i, d := range disks {
+		i, d := i, d
+		out := fmt.Sprintf("storm-%s.bin", d.name)
+		sim.SpawnApp(hr, i, "writer-"+d.name, func(app *engine.App) error {
+			if err := app.WriteFile(out, size, parts[i], "Write 1"); err != nil {
+				return err
+			}
+			walls[i] = app.Now()
+			return nil
+		})
+	}
+	if err := sim.Run(); err != nil {
+		return nil, fmt.Errorf("device ablation %s: %w", a.Mode, err)
+	}
+
+	// Per-writer throttle time: the writer's own domain in per-device mode,
+	// the host-wide total (unsplittable) in global mode.
+	stats := mgr.DomainStats()
+	byDev := make(map[string]core.DomainStat, len(stats))
+	for _, st := range stats {
+		byDev[st.Dev] = st
+	}
+	memBW := platform.SimMemorySpec("mem").WriteBW
+	pay := &devicesPayload{}
+	for i, d := range disks {
+		throttled := mgr.WriteThrottledSeconds()
+		limit := mgr.DirtyThreshold()
+		if st, ok := byDev[d.name]; ok {
+			throttled = st.WriteThrottledSeconds
+			limit = st.DirtyThreshold
+		}
+		pred := cawl.Model{
+			MemBW: memBW, DevBW: units.MBps(d.mbps), DirtyLimit: limit,
+		}.WriteTime(size)
+		pay.Writers = append(pay.Writers, deviceWriterPayload{
+			Dev: d.name, Bytes: size, Wall: walls[i], Throttled: throttled, Pred: pred,
+		})
+	}
+	return pay, nil
+}
+
+// DevicesCells enumerates the ablation grid: one cell per writeback mode.
+func DevicesCells(section string, quick bool) []grid.Spec {
+	var specs []grid.Spec
+	cost := costGB(2*devSizes(quick), 1)
+	for mi, mode := range devModes {
+		specs = append(specs, grid.NewSpec("devices",
+			grid.Coord{Section: section, I: mi},
+			fmt.Sprintf("devices %s", mode), cost,
+			devicesArgs{Mode: mode, Quick: quick}))
+	}
+	return specs
+}
+
+// MergeDevices assembles the rows in (mode, device) order.
+func MergeDevices(ps []grid.Payload) (*DevicesResult, error) {
+	if err := wantCells(ps, len(devModes)); err != nil {
+		return nil, fmt.Errorf("device ablation: %w", err)
+	}
+	pays, err := decodeAll[devicesPayload](ps)
+	if err != nil {
+		return nil, err
+	}
+	res := &DevicesResult{}
+	for mi, mode := range devModes {
+		for _, w := range pays[mi].Writers {
+			errPct := math.Inf(1)
+			if w.Pred > 0 {
+				errPct = 100 * (w.Wall - w.Pred) / w.Pred
+			}
+			res.Rows = append(res.Rows, DeviceRow{
+				Mode: mode, Dev: w.Dev, Written: w.Bytes, Wall: w.Wall,
+				Throttled: w.Throttled, CAWLPred: w.Pred, CAWLErr: errPct,
+			})
+		}
+	}
+	return res, nil
+}
+
+// RunDevicesAblation compares one global writeback domain against
+// per-device domains on a mixed-speed (NVMe+HDD) host under a concurrent
+// flush storm, reporting each writer's wall time, throttle time and the
+// CAWL-modeled prediction.
+func RunDevicesAblation(quick bool) (*DevicesResult, error) {
+	ps, err := runGrid(DevicesCells("devices", quick))
+	if err != nil {
+		return nil, fmt.Errorf("device ablation: %w", err)
+	}
+	return MergeDevices(ps)
+}
+
+// Render prints the ablation table.
+func (r *DevicesResult) Render(w io.Writer) {
+	fmt.Fprintln(w, "== Per-device writeback ablation: mixed-speed flush storm vs CAWL ==")
+	t := &textplot.Table{Header: []string{
+		"mode", "device", "written", "wall (s)", "throttled (s)", "CAWL pred (s)", "CAWL err"}}
+	for _, row := range r.Rows {
+		t.Add(row.Mode, row.Dev, units.FormatBytes(row.Written),
+			fmt.Sprintf("%.1f", row.Wall), fmt.Sprintf("%.1f", row.Throttled),
+			fmt.Sprintf("%.1f", row.CAWLPred), fmt.Sprintf("%+.1f%%", row.CAWLErr))
+	}
+	t.Render(w)
+}
+
+// WriteCSV emits the per-row summary.
+func (r *DevicesResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w,
+		"mode,device,written_bytes,wall_s,write_throttle_s,cawl_pred_s,cawl_err_pct"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%d,%.3f,%.3f,%.3f,%.2f\n",
+			row.Mode, row.Dev, row.Written, row.Wall, row.Throttled,
+			row.CAWLPred, row.CAWLErr); err != nil {
+			return err
+		}
+	}
+	return nil
+}

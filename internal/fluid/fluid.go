@@ -493,6 +493,17 @@ func (s *System) scheduleNext() {
 	if math.IsInf(soonest, 1) {
 		return
 	}
+	// A completion nearer than the float resolution of the current virtual
+	// time would land the event at `now` itself: the advance pass would see
+	// dt = 0, burn no remaining work, and retarget the same instant forever
+	// (a tiny transfer racing a fast channel late in a long run, e.g. a
+	// byte-sized cache write at memory speed past t ≈ 17 s, is enough). Push
+	// the event to the next representable time so the clock always advances;
+	// one ulp of elapsed time then burns more than the sub-resolution
+	// remainder, so the activity completes on that event.
+	if now := s.k.Now(); now+soonest <= now {
+		soonest = math.Nextafter(now, math.Inf(1)) - now
+	}
 	s.next = s.k.After(soonest, s.onTimer)
 }
 

@@ -495,3 +495,30 @@ func TestComponentBridging(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSubResolutionCompletion pins the scheduleNext time-advance guard: a
+// transfer whose completion time is smaller than one ulp of the current
+// virtual clock must still complete (at the next representable instant)
+// instead of retargeting a dt=0 event at the same time forever. Before the
+// guard this test hung: 1 B at 1 GB/s needs 1e-9 s, but one ulp of t = 2^30
+// is ~1.2e-7 s, so now + dt == now.
+func TestSubResolutionCompletion(t *testing.T) {
+	k := des.NewKernel()
+	s := NewSystem(k)
+	fast := s.NewResource("mem", 1e9)
+	var end float64
+	k.Spawn("app", func(p *des.Proc) {
+		p.Sleep(1 << 30)
+		s.Transfer(1, fast).Await(p)
+		end = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end < 1<<30 || end > float64(1<<30)+1e-6 {
+		t.Fatalf("end = %v, want just past 2^30", end)
+	}
+	if s.InFlight() != 0 {
+		t.Fatalf("%d activities still in flight", s.InFlight())
+	}
+}

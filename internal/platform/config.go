@@ -34,7 +34,11 @@ import (
 // "dirtyBackgroundRatio" sets vm.dirty_background_ratio (0 or omitted:
 // background writeback disabled, the paper's single-threshold model) and
 // "lfuHalfLife" the segmented-LFU frequency-decay half-life in seconds
-// (0 or omitted: the built-in 60 s default).
+// (0 or omitted: the built-in 60 s default). "perDeviceWriteback" splits
+// the host's writeback into per-disk domains — each disk gets its own
+// dirty thresholds (scaled by its write-bandwidth share, or overridden by
+// the disk's "dirtyRatio"/"dirtyBackgroundRatio"), its own flusher, and
+// writer-driven wakeups — matching Linux's per-bdi flusher threads.
 type Config struct {
 	Hosts []HostConfig `json:"hosts"`
 	Links []LinkConfig `json:"links"`
@@ -55,8 +59,13 @@ type HostConfig struct {
 	DirtyBackgroundRatio float64 `json:"dirtyBackgroundRatio"`
 	// LFUHalfLife overrides the segmented-LFU decay half-life in seconds
 	// (0 = the core default; ignored by the other policies).
-	LFUHalfLife float64      `json:"lfuHalfLife"`
-	Disks       []DiskConfig `json:"disks"`
+	LFUHalfLife float64 `json:"lfuHalfLife"`
+	// PerDeviceWriteback gives each of the host's disks its own writeback
+	// domain — per-device dirty thresholds, flusher and writer-driven
+	// wakeups — instead of the single host-wide flusher (false, the
+	// default, keeps the original byte-identical behavior).
+	PerDeviceWriteback bool         `json:"perDeviceWriteback"`
+	Disks              []DiskConfig `json:"disks"`
 }
 
 // DiskConfig describes one disk and its (single) partition.
@@ -68,6 +77,12 @@ type DiskConfig struct {
 	Partition     string  `json:"partition"`
 	LatencyS      float64 `json:"latencyS"`
 	SharedChannel bool    `json:"sharedChannel"`
+	// DirtyRatio / DirtyBackgroundRatio override this disk's writeback
+	// domain thresholds when the host sets perDeviceWriteback (0 or
+	// omitted: the host's global ratios scaled by the disk's share of the
+	// host's total disk write bandwidth, Linux's proportional bdi split).
+	DirtyRatio           float64 `json:"dirtyRatio"`
+	DirtyBackgroundRatio float64 `json:"dirtyBackgroundRatio"`
 }
 
 // LinkConfig describes one full-duplex network link.
@@ -146,6 +161,15 @@ func (c *Config) Validate() error {
 			}
 			if d.LatencyS < 0 {
 				return fmt.Errorf("platform: disk %q: negative latency", d.Name)
+			}
+			if d.DirtyRatio < 0 || d.DirtyRatio >= 1 {
+				return fmt.Errorf("platform: disk %q: dirtyRatio must be in [0,1)", d.Name)
+			}
+			if d.DirtyBackgroundRatio < 0 || d.DirtyBackgroundRatio >= 1 {
+				return fmt.Errorf("platform: disk %q: dirtyBackgroundRatio must be in [0,1)", d.Name)
+			}
+			if (d.DirtyRatio > 0 || d.DirtyBackgroundRatio > 0) && !h.PerDeviceWriteback {
+				return fmt.Errorf("platform: disk %q: per-disk writeback ratios require host perDeviceWriteback", d.Name)
 			}
 		}
 	}

@@ -569,6 +569,17 @@ func evaluate(d *Doc, plat *engine.Platform, groups map[string]*cgroup.Group, re
 			}
 			add(fmt.Sprintf("max-forced-evictions %s <= %d", a.Host, a.Count), forced <= a.Count,
 				"forced %d", forced)
+		case AssertMaxDevThrottle:
+			throttled, found := -1.0, false
+			if mp, ok := plat.Hosts[a.Host].Model.(engine.ManagerProvider); ok {
+				for _, st := range mp.Manager().DomainStats() {
+					if st.Dev == a.Device {
+						throttled, found = st.WriteThrottledSeconds, true
+					}
+				}
+			}
+			add(fmt.Sprintf("max-device-throttle %s/%s <= %gs", a.Host, a.Device, a.Seconds),
+				found && throttled <= a.Seconds, "throttled %.6gs", throttled)
 		}
 	}
 	return out

@@ -219,6 +219,10 @@ type RandomDoc struct {
 //	completed / failed               — "workload" (every instance finished /
 //	                                   at least one instance errored)
 //	max-forced-evictions             — "host", "count"
+//	max-device-throttle              — "host", "device", "seconds" (the host
+//	                                   must set perDeviceWriteback; writers of
+//	                                   the device's writeback domain spent at
+//	                                   most that long throttled)
 //
 // Workloads not named in any completed/failed assertion are implicitly
 // asserted to complete.
@@ -226,6 +230,7 @@ type AssertionDoc struct {
 	Kind      string  `json:"kind"`
 	Seconds   float64 `json:"seconds,omitempty"`
 	Host      string  `json:"host,omitempty"`
+	Device    string  `json:"device,omitempty"`
 	Ratio     float64 `json:"ratio,omitempty"`
 	Partition string  `json:"partition,omitempty"`
 	Workload  string  `json:"workload,omitempty"`
@@ -242,6 +247,7 @@ const (
 	AssertCompleted       = "completed"
 	AssertFailed          = "failed"
 	AssertMaxForcedEvict  = "max-forced-evictions"
+	AssertMaxDevThrottle  = "max-device-throttle"
 )
 
 // Load reads, resolves and validates a scenario file. A platformFile
@@ -333,11 +339,15 @@ func (d *Doc) Validate() error {
 
 	hosts := map[string]bool{}
 	partOwner := map[string]string{} // partition -> host
+	perDevHosts := map[string]bool{} // hosts with perDeviceWriteback
+	hostDisks := map[string]bool{}   // "host/disk"
 	links := map[string]bool{}
 	for _, h := range d.Platform.Hosts {
 		hosts[h.Name] = true
+		perDevHosts[h.Name] = h.PerDeviceWriteback
 		for _, dk := range h.Disks {
 			partOwner[dk.Partition] = h.Name
+			hostDisks[h.Name+"/"+dk.Name] = true
 		}
 	}
 	for _, l := range d.Platform.Links {
@@ -480,6 +490,19 @@ func (d *Doc) Validate() error {
 			}
 			if a.Count < 0 {
 				return fmt.Errorf("scenario: assertion %s: negative count", a.Kind)
+			}
+		case AssertMaxDevThrottle:
+			if !hosts[a.Host] {
+				return fmt.Errorf("scenario: assertion %s: unknown host %q", a.Kind, a.Host)
+			}
+			if !hostDisks[a.Host+"/"+a.Device] {
+				return fmt.Errorf("scenario: assertion %s: host %q has no disk %q", a.Kind, a.Host, a.Device)
+			}
+			if !perDevHosts[a.Host] {
+				return fmt.Errorf("scenario: assertion %s: host %q does not set perDeviceWriteback", a.Kind, a.Host)
+			}
+			if a.Seconds < 0 {
+				return fmt.Errorf("scenario: assertion %s: negative seconds", a.Kind)
 			}
 		default:
 			return fmt.Errorf("scenario: unknown assertion kind %q", a.Kind)

@@ -20,8 +20,15 @@ import (
 	"repro/internal/core"
 )
 
-// Version is the file-format version; Read rejects other versions.
-const Version = 1
+// Version is the file-format version written by this build; Decode accepts
+// it and VersionLegacy. Version 2 added per-device writeback domains inside
+// the embedded core.ManagerStates (core.ManagerStateVersionPerDevice);
+// version-1 files — whose managers are all single-domain — remain readable
+// unchanged.
+const (
+	Version       = 2
+	VersionLegacy = 1
+)
 
 // FileMeta describes one backing file the snapshot's cache state refers to.
 // Restorers recreate missing files before restoring managers, so restored
@@ -65,8 +72,8 @@ func Decode(r io.Reader) (*File, error) {
 	if err := dec.Decode(&f); err != nil {
 		return nil, fmt.Errorf("snapshot: decoding: %w", err)
 	}
-	if f.Version != Version {
-		return nil, fmt.Errorf("snapshot: file version %d, this build reads %d", f.Version, Version)
+	if f.Version != Version && f.Version != VersionLegacy {
+		return nil, fmt.Errorf("snapshot: file version %d, this build reads %d and %d", f.Version, Version, VersionLegacy)
 	}
 	return &f, nil
 }

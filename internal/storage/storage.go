@@ -182,3 +182,16 @@ func (ns *Namespace) Locate(name string) (*Partition, error) {
 
 // Forget removes the mapping (file deletion).
 func (ns *Namespace) Forget(name string) { delete(ns.byFile, name) }
+
+// DeviceOf resolves the file→partition→device chain to the name of the
+// backing device — the bdi key per-device writeback domains group dirty
+// data by — or "" when the file is not placed. Placement is stable for a
+// file's lifetime (Place rejects moves), so every cached block of one file
+// resolves to the same device.
+func (ns *Namespace) DeviceOf(name string) string {
+	p, ok := ns.byFile[name]
+	if !ok {
+		return ""
+	}
+	return p.Device().Name()
+}
