@@ -20,6 +20,14 @@
 //	experiments -devices             # per-device writeback ablation (mixed-speed host vs CAWL model)
 //	experiments -ffwd                # fast-forward speedup/error ablation (exact vs phase-skipped)
 //	experiments -worker              # serve cells over stdin/stdout (spawned via -worker-cmd)
+//
+// With -queue-dir the grid runs through a durable, file-backed queue that
+// survives coordinator and worker crashes and that several hosts sharing the
+// directory can drain concurrently (see README.md):
+//
+//	experiments -quick -queue-dir /shared/q            # coordinator: enqueue/resume, drain, merge
+//	experiments -queue-worker -queue-dir /shared/q     # extra worker fleet (any host, e.g. over ssh)
+//	experiments -queue-status -queue-dir /shared/q     # pending/leased/done/failed + heartbeat ages
 package main
 
 import (
@@ -27,12 +35,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/grid"
+	"repro/internal/metrics"
 	"repro/internal/platform"
+	"repro/internal/queue"
 	"repro/internal/textplot"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -72,6 +85,14 @@ func Main(args []string, stdout io.Writer) int {
 		workerCmd = fs.String("worker-cmd", "", "fan cells out to subprocesses: argv spawned once per worker slot (e.g. \"./experiments -worker\" or \"ssh host experiments -worker\")")
 		cellTO    = fs.Duration("cell-timeout", 0, "per-cell attempt timeout (0: none)")
 		cellRetry = fs.Int("cell-retries", 0, "extra attempts after a failed cell (error, panic, timeout, dead worker)")
+
+		queueDir     = fs.String("queue-dir", "", "durable work queue directory: enumerate cells into it (or resume it), drain with -workers local workers plus any attached fleets, and merge the result store")
+		queueWorker  = fs.Bool("queue-worker", false, "attach -workers drain loops to the -queue-dir queue and exit when it is drained (no report; run on any host sharing the directory)")
+		queueStatus  = fs.Bool("queue-status", false, "print the -queue-dir queue's consolidated status report (cells, per-worker heartbeat ages, aggregate busy time) and exit")
+		queueEnqueue = fs.Bool("queue-enqueue", false, "create or validate the -queue-dir queue from the selected experiments and exit without draining or merging")
+		queueTTL     = fs.Duration("queue-lease-ttl", 30*time.Second, "queue cell lease TTL: heartbeats renew it at TTL/4; a worker silent past its TTL forfeits its cells")
+		queueMax     = fs.Int("queue-max-cells", 0, "with -queue-worker, each drain loop runs at most N cells then exits (0: until drained)")
+		timingsJSON  = fs.String("timings-json", "", "write the grid utilization summary as machine-readable JSON to FILE (the BENCH_* field format)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -83,6 +104,27 @@ func Main(args []string, stdout io.Writer) int {
 			return 1
 		}
 		return 0
+	}
+	if (*queueWorker || *queueStatus || *queueEnqueue) && *queueDir == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -queue-worker, -queue-status and -queue-enqueue require -queue-dir")
+		return 2
+	}
+	if *queueStatus {
+		q, err := queue.Open(*queueDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		st, err := q.Status()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		st.Render(stdout)
+		return 0
+	}
+	if *queueWorker {
+		return queueWorkerMain(*queueDir, *workers, *queueTTL, *queueMax, *cellTO, *cellRetry, *timings)
 	}
 	if !(*exp1 || *exp2 || *exp3 || *exp4 || *fig8 || *ablations || *tables || *policies || *wbacks || *devs || *ffwd) {
 		*all = true
@@ -275,26 +317,63 @@ func Main(args []string, stdout io.Writer) int {
 		return 0
 	}
 
-	specs := exp.SpecsOf(sections)
 	em := exp.NewEmitter(stdout, *outDir, sections)
-	opts := grid.Options{Workers: *workers, Timeout: *cellTO, Retries: *cellRetry}
-	if *workerCmd != "" {
-		opts.WorkerCmd = strings.Fields(*workerCmd)
-	}
-	if *timings {
-		opts.Progress = func(done, total int, r grid.Result) {
-			status := "ok"
-			if r.Err != "" {
-				status = "FAILED"
+	var stats metrics.GridStats
+	if *queueDir != "" {
+		var progress func(done, total int, r grid.Result)
+		if *timings {
+			progress = func(done, total int, r grid.Result) {
+				status := "ok"
+				if r.Err != "" {
+					status = "FAILED"
+				}
+				fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s %s (%.1fs)\n",
+					done, total, r.Coord, status, r.Seconds)
 			}
-			fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s %s (%.1fs, worker %d)\n",
-				done, total, r.Coord, status, r.Seconds, r.Worker)
 		}
-	}
-	stats, err := grid.Run(specs, opts, em.Deliver)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-		return 1
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		var err error
+		stats, err = exp.RunQueue(em, sections, exp.QueueRunOptions{
+			Dir:         *queueDir,
+			Workers:     n,
+			LeaseTTL:    *queueTTL,
+			EnqueueOnly: *queueEnqueue,
+			Exec:        func(s grid.Spec) grid.Result { return grid.Attempt(s, *cellTO, *cellRetry) },
+			Progress:    progress,
+			Log:         os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 2
+		}
+		if *queueEnqueue {
+			return writeTimingsJSON(*timingsJSON, stats)
+		}
+	} else {
+		specs := exp.SpecsOf(sections)
+		opts := grid.Options{Workers: *workers, Timeout: *cellTO, Retries: *cellRetry}
+		if *workerCmd != "" {
+			opts.WorkerCmd = strings.Fields(*workerCmd)
+		}
+		if *timings {
+			opts.Progress = func(done, total int, r grid.Result) {
+				status := "ok"
+				if r.Err != "" {
+					status = "FAILED"
+				}
+				fmt.Fprintf(os.Stderr, "experiments: [%d/%d] %s %s (%.1fs, worker %d)\n",
+					done, total, r.Coord, status, r.Seconds, r.Worker)
+			}
+		}
+		var err error
+		stats, err = grid.Run(specs, opts, em.Deliver)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
 	}
 	if *timings {
 		fmt.Fprintf(stdout, "== Grid: %d cells on %d workers ==\n", stats.Cells, stats.Workers())
@@ -305,12 +384,93 @@ func Main(args []string, stdout io.Writer) int {
 		}
 		fmt.Fprintln(stdout)
 	}
+	if code := writeTimingsJSON(*timingsJSON, stats); code != 0 {
+		return code
+	}
 	if fails := em.Failures(); len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintf(os.Stderr, "experiments: %s\n", f)
 		}
 		return 1
 	}
+	return 0
+}
+
+// writeTimingsJSON saves the utilization summary as JSON when a path was
+// given (the -timings-json satellite: one machine-readable format shared by
+// queue-wide aggregation and the BENCH_* baselines).
+func writeTimingsJSON(path string, stats metrics.GridStats) int {
+	if path == "" {
+		return 0
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	if err := stats.WriteJSON(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", path, err)
+		return 1
+	}
+	return 0
+}
+
+// queueWorkerMain attaches n drain loops to an existing queue and exits when
+// it is drained (or each loop has run its -queue-max-cells share). Cell
+// failures are recorded in the queue, not in the exit code: the coordinator
+// owns reporting.
+func queueWorkerMain(dir string, workers int, ttl time.Duration, maxCells int, cellTO time.Duration, cellRetry int, verbose bool) int {
+	q, err := queue.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	n := workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var total queue.DrainStats
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			opts := queue.DrainOptions{
+				LeaseTTL: ttl,
+				MaxCells: maxCells,
+				Exec:     func(s grid.Spec) grid.Result { return grid.Attempt(s, cellTO, cellRetry) },
+			}
+			if verbose {
+				opts.Progress = func(r grid.Result) {
+					status := "ok"
+					if r.Err != "" {
+						status = "FAILED"
+					}
+					fmt.Fprintf(os.Stderr, "experiments: %s %s (%.1fs)\n", r.Coord, status, r.Seconds)
+				}
+			}
+			st, err := q.Drain(opts)
+			mu.Lock()
+			total.Ran += st.Ran
+			total.Failed += st.Failed
+			total.BusySeconds += st.BusySeconds
+			mu.Unlock()
+			if err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "experiments: queue worker done: ran %d cells (%d failed) in %.1fs busy\n",
+		total.Ran, total.Failed, total.BusySeconds)
 	return 0
 }
 

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -36,6 +37,10 @@ type Options struct {
 	// WorkerEnv appends to the subprocess environment (tests use it to put
 	// the test binary into worker mode).
 	WorkerEnv []string
+	// WorkerStderr receives subprocess worker diagnostics, each line
+	// prefixed with the worker's slot id so multi-host failure output stays
+	// attributable; nil selects os.Stderr.
+	WorkerStderr io.Writer
 	// Progress, if set, is called serially (from Run's goroutine) after each
 	// cell completes.
 	Progress func(done, total int, r Result)
@@ -68,7 +73,8 @@ func Run(specs []Spec, opts Options, deliver func(Result)) (metrics.GridStats, e
 			defer wg.Done()
 			exec := cellExec(runInProcess)
 			if len(opts.WorkerCmd) > 0 {
-				pw := &procWorker{cmdline: opts.WorkerCmd, env: opts.WorkerEnv}
+				pw := &procWorker{cmdline: opts.WorkerCmd, env: opts.WorkerEnv,
+					id: id, stderr: opts.WorkerStderr}
 				defer pw.stop()
 				exec = pw.exec
 			}
@@ -134,6 +140,14 @@ func scheduleOrder(specs []Spec) []Spec {
 // cellExec runs one attempt of one cell.
 type cellExec func(s Spec, timeout time.Duration) Result
 
+// Attempt executes one cell in this process with the pool's attempt/retry
+// loop: up to 1+retries attempts, each bounded by timeout (0: unbounded).
+// Durable-queue drain loops use it so `-cell-timeout`/`-cell-retries` mean
+// the same thing with and without a queue.
+func Attempt(s Spec, timeout time.Duration, retries int) Result {
+	return runCell(s, Options{Timeout: timeout, Retries: retries}, runInProcess)
+}
+
 // runCell drives the attempt/retry loop for one cell.
 func runCell(s Spec, opts Options, exec cellExec) Result {
 	var res Result
@@ -172,6 +186,9 @@ func runInProcess(s Spec, timeout time.Duration) Result {
 type procWorker struct {
 	cmdline []string
 	env     []string
+	id      int       // pool slot, stamped onto relayed stderr lines
+	stderr  io.Writer // nil: os.Stderr
+	pre     *prefixWriter
 	cmd     *exec.Cmd
 	in      io.WriteCloser
 	dec     *json.Decoder
@@ -182,7 +199,16 @@ func (p *procWorker) start() error {
 	if len(p.env) > 0 {
 		cmd.Env = append(os.Environ(), p.env...)
 	}
-	cmd.Stderr = os.Stderr
+	dst := p.stderr
+	if dst == nil {
+		dst = os.Stderr
+	}
+	// Relay the worker's stderr line by line, prefixed with the slot id, so
+	// interleaved diagnostics from a multi-host fan-out stay attributable.
+	// Handing exec a plain io.Writer makes cmd.Wait drain the pipe fully
+	// before returning — no tail lines lost on worker death.
+	p.pre = &prefixWriter{dst: dst, prefix: fmt.Sprintf("[worker %d] ", p.id)}
+	cmd.Stderr = p.pre
 	in, err := cmd.StdinPipe()
 	if err != nil {
 		return err
@@ -198,6 +224,35 @@ func (p *procWorker) start() error {
 	return nil
 }
 
+// prefixWriter stamps a prefix onto every complete line written through it.
+// exec's copy goroutine is the only writer, so no locking is needed; Flush
+// emits a crashed worker's unterminated last line.
+type prefixWriter struct {
+	dst    io.Writer
+	prefix string
+	buf    []byte
+}
+
+func (w *prefixWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	for {
+		i := bytes.IndexByte(w.buf, '\n')
+		if i < 0 {
+			return len(p), nil
+		}
+		fmt.Fprintf(w.dst, "%s%s\n", w.prefix, w.buf[:i])
+		w.buf = w.buf[i+1:]
+	}
+}
+
+// Flush emits any buffered partial line (a worker killed mid-write).
+func (w *prefixWriter) Flush() {
+	if len(w.buf) > 0 {
+		fmt.Fprintf(w.dst, "%s%s\n", w.prefix, w.buf)
+		w.buf = nil
+	}
+}
+
 // stop closes the worker's stdin (EOF ends ServeWorker cleanly) and reaps it.
 func (p *procWorker) stop() {
 	if p.cmd == nil {
@@ -205,6 +260,7 @@ func (p *procWorker) stop() {
 	}
 	p.in.Close()
 	p.cmd.Wait()
+	p.pre.Flush()
 	p.cmd = nil
 }
 
@@ -216,6 +272,7 @@ func (p *procWorker) kill() {
 	p.in.Close()
 	p.cmd.Process.Kill()
 	p.cmd.Wait()
+	p.pre.Flush()
 	p.cmd = nil
 }
 

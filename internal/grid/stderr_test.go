@@ -1,0 +1,118 @@
+package grid
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func init() {
+	RegisterCell("test-stderr", func(a testArgs) (any, error) {
+		fmt.Fprintf(os.Stderr, "diagnostic for x=%g\nsecond line\n", a.X)
+		return map[string]float64{"y": a.X}, nil
+	})
+}
+
+// syncBuffer makes a bytes.Buffer safe for the pool's worker goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestPrefixWriterStampsLines(t *testing.T) {
+	var out bytes.Buffer
+	w := &prefixWriter{dst: &out, prefix: "[worker 3] "}
+	// Lines arrive in arbitrary chunks: split mid-line, multiple lines per
+	// write, and a trailing fragment that only Flush emits.
+	for _, chunk := range []string{"hel", "lo\nworld\npar", "tial"} {
+		if _, err := w.Write([]byte(chunk)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := "[worker 3] hello\n[worker 3] world\n"
+	if out.String() != want {
+		t.Fatalf("before flush:\n%q\nwant:\n%q", out.String(), want)
+	}
+	w.Flush()
+	want += "[worker 3] partial\n"
+	if out.String() != want {
+		t.Fatalf("after flush:\n%q\nwant:\n%q", out.String(), want)
+	}
+	// Flush is idempotent.
+	w.Flush()
+	if out.String() != want {
+		t.Fatalf("second flush changed output: %q", out.String())
+	}
+}
+
+func TestSubprocessStderrPrefixed(t *testing.T) {
+	specs := []Spec{
+		spec("test-stderr", 0, 0),
+		spec("test-stderr", 1, 0),
+	}
+	var stderr syncBuffer
+	_, err := Run(specs, Options{
+		Workers:      1,
+		WorkerCmd:    []string{os.Args[0]},
+		WorkerEnv:    []string{"GRID_WORKER_HELPER=1"},
+		WorkerStderr: &stderr,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stderr.String()
+	for _, want := range []string{
+		"[worker 0] diagnostic for x=0\n",
+		"[worker 0] diagnostic for x=1\n",
+		"[worker 0] second line\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stderr missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line != "" && !strings.HasPrefix(line, "[worker 0] ") {
+			t.Errorf("unprefixed stderr line: %q", line)
+		}
+	}
+}
+
+func TestSubprocessStderrTwoWorkersAttributable(t *testing.T) {
+	var specs []Spec
+	for i := 0; i < 8; i++ {
+		specs = append(specs, spec("test-stderr", i, 0))
+	}
+	var stderr syncBuffer
+	_, err := Run(specs, Options{
+		Workers:      2,
+		WorkerCmd:    []string{os.Args[0]},
+		WorkerEnv:    []string{"GRID_WORKER_HELPER=1"},
+		WorkerStderr: &stderr,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimRight(stderr.String(), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "[worker 0] ") && !strings.HasPrefix(line, "[worker 1] ") {
+			t.Errorf("line not attributed to a worker slot: %q", line)
+		}
+	}
+}

@@ -5,7 +5,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 )
 
@@ -139,6 +141,11 @@ type GridStats struct {
 	// total cell-execution time worker w accumulated (all attempts).
 	WallSeconds float64
 	BusySeconds []float64
+	// WorkerIDs, when set, names each BusySeconds slot. In-process pools
+	// leave it nil (slots are anonymous goroutines); the durable queue fills
+	// it with the journal's worker ids so multi-host aggregation stays
+	// attributable.
+	WorkerIDs []string
 }
 
 // Workers returns the pool size.
@@ -171,4 +178,48 @@ func (s GridStats) Parallelism() float64 {
 		return 0
 	}
 	return s.Busy() / s.WallSeconds
+}
+
+// TimingsReport is GridStats in its machine-readable form: the JSON document
+// `experiments -timings-json` writes, with the same field names the BENCH_*
+// files use (wall_seconds, busy_seconds, utilization,
+// effective_parallelism), so queue-wide aggregation, ad-hoc tooling, and
+// recorded baselines all share one format.
+type TimingsReport struct {
+	Cells                int       `json:"cells"`
+	Failed               int       `json:"failed"`
+	Retried              int       `json:"retried"`
+	Workers              int       `json:"workers"`
+	WorkerIDs            []string  `json:"worker_ids,omitempty"`
+	WallSeconds          float64   `json:"wall_seconds"`
+	BusySeconds          float64   `json:"busy_seconds"`
+	PerWorkerBusySeconds []float64 `json:"per_worker_busy_seconds"`
+	Utilization          float64   `json:"utilization"`
+	EffectiveParallelism float64   `json:"effective_parallelism"`
+}
+
+// Report converts the stats to their serializable form.
+func (s GridStats) Report() TimingsReport {
+	return TimingsReport{
+		Cells:                s.Cells,
+		Failed:               s.Failed,
+		Retried:              s.Retried,
+		Workers:              s.Workers(),
+		WorkerIDs:            s.WorkerIDs,
+		WallSeconds:          s.WallSeconds,
+		BusySeconds:          s.Busy(),
+		PerWorkerBusySeconds: s.BusySeconds,
+		Utilization:          s.Utilization(),
+		EffectiveParallelism: s.Parallelism(),
+	}
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+func (s GridStats) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s.Report(), "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
 }

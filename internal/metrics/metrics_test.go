@@ -1,7 +1,10 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -152,5 +155,61 @@ func TestGridStatsDegenerate(t *testing.T) {
 	noWall := GridStats{BusySeconds: []float64{1}}
 	if noWall.Utilization() != 0 || noWall.Parallelism() != 0 {
 		t.Fatal("wall=0 must not divide by zero")
+	}
+}
+
+func TestTimingsReportRoundTrip(t *testing.T) {
+	s := GridStats{
+		Cells:       10,
+		Failed:      1,
+		Retried:     2,
+		WallSeconds: 10,
+		BusySeconds: []float64{8, 6, 4, 2},
+		WorkerIDs:   []string{"a", "b", "c", "d"},
+	}
+	rep := s.Report()
+	if rep.Workers != 4 || rep.BusySeconds != 20 || rep.Cells != 10 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Utilization != s.Utilization() || rep.EffectiveParallelism != s.Parallelism() {
+		t.Fatalf("derived fields drifted from GridStats: %+v", rep)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.Bytes()
+	if out[len(out)-1] != '\n' {
+		t.Fatal("JSON output must end with a newline")
+	}
+	// The document uses the BENCH_* field names and parses back losslessly.
+	var back TimingsReport
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, rep) {
+		t.Fatalf("JSON did not round-trip:\n%+v\n%+v", back, rep)
+	}
+	for _, field := range []string{
+		`"cells"`, `"failed"`, `"retried"`, `"workers"`, `"worker_ids"`,
+		`"wall_seconds"`, `"busy_seconds"`, `"per_worker_busy_seconds"`,
+		`"utilization"`, `"effective_parallelism"`,
+	} {
+		if !bytes.Contains(out, []byte(field)) {
+			t.Errorf("JSON missing field %s:\n%s", field, out)
+		}
+	}
+}
+
+func TestTimingsReportAnonymousWorkers(t *testing.T) {
+	// In-process pools have no worker ids; the field is omitted, not null.
+	s := GridStats{Cells: 1, WallSeconds: 1, BusySeconds: []float64{1}}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte("worker_ids")) {
+		t.Fatalf("anonymous pool must omit worker_ids:\n%s", buf.String())
 	}
 }

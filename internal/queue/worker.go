@@ -1,0 +1,198 @@
+package queue
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/grid"
+)
+
+// DrainOptions configures one drain loop (one logical worker).
+type DrainOptions struct {
+	// Worker uniquely identifies this drain loop in the journal; empty picks
+	// a host-pid-sequence id via DefaultWorkerID.
+	Worker string
+	// LeaseTTL bounds how stale a worker may go before its cells are
+	// reclaimed; heartbeats renew it. Defaults to 30s. Shorter TTLs reclaim
+	// crashed workers' cells faster but tolerate less scheduling jitter.
+	LeaseTTL time.Duration
+	// Heartbeat is the renewal period while executing a cell; defaults to
+	// LeaseTTL/4.
+	Heartbeat time.Duration
+	// Poll is the re-check period while other workers hold every remaining
+	// cell; defaults to LeaseTTL/4, clamped to [25ms, 2s].
+	Poll time.Duration
+	// MaxCells stops the loop after that many cells (0: drain to completion).
+	// Bounded drains suit spot capacity and make interruption testable.
+	MaxCells int
+	// MaxLeases is the per-cell lease budget before a cell that keeps
+	// crashing workers is declared failed; defaults to 5, <0 means unlimited.
+	MaxLeases int
+	// Exec runs one claimed cell; defaults to grid.RunSpec (panic-isolated,
+	// in-process). Coordinators inject grid.Attempt to honor per-cell
+	// timeout/retry flags.
+	Exec func(grid.Spec) grid.Result
+	// Progress, if set, is called after each completed cell.
+	Progress func(r grid.Result)
+}
+
+// DrainStats summarizes one drain loop's own work (the queue-wide picture
+// lives in Status).
+type DrainStats struct {
+	Ran         int // cells this loop executed, including failed ones
+	Failed      int
+	BusySeconds float64
+}
+
+var workerSeq atomic.Int64
+
+// DefaultWorkerID returns a journal-unique worker id: host-pid-wN. Every
+// drain loop needs its own id — leases and heartbeats are per-id.
+func DefaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "host"
+	}
+	return fmt.Sprintf("%s-%d-w%d", host, os.Getpid(), workerSeq.Add(1)-1)
+}
+
+func (o *DrainOptions) fill() {
+	if o.Worker == "" {
+		o.Worker = DefaultWorkerID()
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = o.LeaseTTL / 4
+	}
+	if o.Poll <= 0 {
+		o.Poll = o.LeaseTTL / 4
+		if o.Poll < 25*time.Millisecond {
+			o.Poll = 25 * time.Millisecond
+		}
+		if o.Poll > 2*time.Second {
+			o.Poll = 2 * time.Second
+		}
+	}
+	if o.MaxLeases == 0 {
+		o.MaxLeases = 5
+	}
+	if o.Exec == nil {
+		o.Exec = grid.RunSpec
+	}
+}
+
+// Drain claims and executes cells until the queue is drained (every cell
+// done or failed) or MaxCells is reached. While another worker holds every
+// remaining cell, Drain polls: the holder may finish, or die and forfeit its
+// lease. A heartbeat goroutine renews this worker's lease for the duration
+// of each cell, so the TTL bounds crash detection, not cell runtime.
+func (q *Queue) Drain(opts DrainOptions) (DrainStats, error) {
+	opts.fill()
+	var stats DrainStats
+	for {
+		if opts.MaxCells > 0 && stats.Ran >= opts.MaxCells {
+			return stats, nil
+		}
+		cell, spec, outcome, err := q.Claim(opts.Worker, opts.LeaseTTL, opts.MaxLeases)
+		if err != nil {
+			return stats, err
+		}
+		switch outcome {
+		case Drained:
+			return stats, nil
+		case Wait:
+			time.Sleep(opts.Poll)
+			continue
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.NewTicker(opts.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					// A failed beat (transient fs error) is not fatal: the
+					// lease just ages toward expiry and the next beat retries.
+					q.Beat(opts.Worker, opts.LeaseTTL)
+				}
+			}
+		}()
+		res := opts.Exec(spec)
+		close(stop)
+		wg.Wait()
+		// The executor owns the payload; the spec owns the identity.
+		res.Coord, res.Kind = spec.Coord, spec.Kind
+		if err := q.Complete(cell, opts.Worker, res); err != nil {
+			return stats, err
+		}
+		stats.Ran++
+		stats.BusySeconds += res.Seconds
+		if res.Err != "" {
+			stats.Failed++
+		}
+		if opts.Progress != nil {
+			opts.Progress(res)
+		}
+	}
+}
+
+// WaitDrain watches the queue until every cell reaches a terminal state,
+// delivering each finished cell's Result exactly once (ascending cell index
+// within each poll round). Done cells are read from the result store; failed
+// cells are synthesized from their journal record. This is the coordinator's
+// merge feed: cells completed by any worker on any host — including cells
+// finished before this process started — arrive through the same path.
+func (q *Queue) WaitDrain(poll time.Duration, deliver func(grid.Result), progress func(done, total int, r grid.Result)) error {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	delivered := make([]bool, len(q.specs))
+	n := 0
+	for {
+		rs, err := q.replay()
+		if err != nil {
+			return err
+		}
+		for i := range rs.cells {
+			c := rs.cells[i]
+			if delivered[i] || (c.State != Done && c.State != Failed) {
+				continue
+			}
+			var res grid.Result
+			if c.State == Done {
+				res, err = q.Result(i)
+				if err != nil {
+					return fmt.Errorf("queue: cell %d journaled done but its result is unreadable: %w", i, err)
+				}
+			} else {
+				res = grid.Result{
+					Coord: q.specs[i].Coord, Kind: q.specs[i].Kind,
+					Err: c.Err, Attempts: c.Att, Seconds: c.Seconds,
+				}
+			}
+			delivered[i] = true
+			n++
+			if progress != nil {
+				progress(n, len(q.specs), res)
+			}
+			if deliver != nil {
+				deliver(res)
+			}
+		}
+		if n == len(q.specs) {
+			return nil
+		}
+		time.Sleep(poll)
+	}
+}
